@@ -1,0 +1,59 @@
+"""E02 — Proposition 4.3: matrix–vector multiplication, OPT_PRBP = m²+2m < m²+3m-1 <= OPT_RBP.
+
+The PRBP column-streaming strategy achieves the trivial cost for every
+``m + 3 <= r``; the RBP lower bound of the proposition is strictly larger for
+``m >= 3``, so partial computations win on this family at every size.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.bounds.analytic import matvec_prbp_optimal_cost, matvec_rbp_lower_bound
+from repro.dags import matvec_instance
+from repro.solvers.greedy import greedy_rbp_schedule
+from repro.solvers.structured import matvec_prbp_schedule
+
+SIZES = [3, 4, 6, 8]
+
+
+@pytest.mark.parametrize("m", SIZES)
+def bench_matvec_prbp_strategy(benchmark, m):
+    """Validated PRBP column-streaming strategy (paper: m² + 2m)."""
+    inst = matvec_instance(m)
+    cost = benchmark(lambda: matvec_prbp_schedule(inst).cost())
+    assert cost == matvec_prbp_optimal_cost(m) == m * m + 2 * m
+    assert cost < matvec_rbp_lower_bound(m)
+
+
+@pytest.mark.parametrize("m", [4, 6])
+def bench_matvec_rbp_greedy_upper_bound(benchmark, m):
+    """A greedy RBP pebbling at r = m + 3 (upper bound; must exceed the RBP lower bound region)."""
+    inst = matvec_instance(m)
+    cost = benchmark(lambda: greedy_rbp_schedule(inst.dag, m + 3).cost())
+    assert cost >= matvec_rbp_lower_bound(m) - (m - 1)  # at least the trivial cost
+    assert cost >= matvec_prbp_optimal_cost(m)
+
+
+def bench_matvec_table(benchmark):
+    """Whole sweep: the table the proposition implies (PRBP cost vs RBP lower bound)."""
+
+    def build():
+        rows = []
+        for m in SIZES:
+            inst = matvec_instance(m)
+            prbp = matvec_prbp_schedule(inst).cost()
+            rows.append([m, inst.dag.trivial_cost(), prbp, matvec_rbp_lower_bound(m)])
+        return rows
+
+    rows = build()
+    benchmark(build)
+    print()
+    print(
+        format_table(
+            ["m", "trivial", "PRBP strategy", "RBP lower bound"],
+            rows,
+            title="Proposition 4.3 — matrix-vector multiplication (r = m + 3)",
+        )
+    )
+    for _, trivial, prbp, rbp_lb in rows:
+        assert prbp == trivial < rbp_lb

@@ -1,0 +1,77 @@
+"""E04 — Proposition 4.5 / Appendix A.2: k-ary reduction trees at r = k + 1.
+
+Closed forms: OPT_RBP = k^d + 2·k^(d-1) - 1 and OPT_PRBP = k^d + 2·k^(d-k) - 1.
+The structured strategies replayed through the engines must land exactly on
+these values, and the exhaustive solver confirms optimality at small depth.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.dags import kary_tree_instance
+from repro.dags.trees import optimal_prbp_tree_cost, optimal_rbp_tree_cost
+from repro.solvers.exhaustive import optimal_prbp_cost, optimal_rbp_cost
+from repro.solvers.structured import tree_prbp_schedule, tree_rbp_schedule
+
+CASES = [(2, 3), (2, 5), (2, 7), (3, 3), (3, 4), (4, 4)]
+
+
+@pytest.mark.parametrize("k,depth", CASES)
+def bench_tree_rbp_strategy(benchmark, k, depth):
+    """Appendix A.2 RBP strategy: k^d + 2·k^(d-1) - 1."""
+    inst = kary_tree_instance(k, depth)
+    cost = benchmark(lambda: tree_rbp_schedule(inst).cost())
+    assert cost == optimal_rbp_tree_cost(k, depth)
+
+
+@pytest.mark.parametrize("k,depth", CASES)
+def bench_tree_prbp_strategy(benchmark, k, depth):
+    """Appendix A.2 PRBP strategy: k^d + 2·k^(d-k) - 1."""
+    inst = kary_tree_instance(k, depth)
+    cost = benchmark(lambda: tree_prbp_schedule(inst).cost())
+    assert cost == optimal_prbp_tree_cost(k, depth)
+
+
+def bench_tree_exhaustive_confirms_formulas(benchmark):
+    """Exhaustive optimum at depth 3 (binary): both formulas are optimal."""
+    inst = kary_tree_instance(2, 3)
+
+    def run():
+        return optimal_rbp_cost(inst.dag, 3), optimal_prbp_cost(inst.dag, 3)
+
+    rbp, prbp = benchmark(run)
+    assert rbp == optimal_rbp_tree_cost(2, 3) == 15
+    assert prbp == optimal_prbp_tree_cost(2, 3) == 11
+
+
+def bench_tree_table(benchmark):
+    """The Appendix A.2 cost table (strategy cost vs closed form)."""
+
+    def build():
+        rows = []
+        for k, depth in CASES:
+            inst = kary_tree_instance(k, depth)
+            rows.append(
+                [
+                    k,
+                    depth,
+                    tree_rbp_schedule(inst).cost(),
+                    optimal_rbp_tree_cost(k, depth),
+                    tree_prbp_schedule(inst).cost(),
+                    optimal_prbp_tree_cost(k, depth),
+                ]
+            )
+        return rows
+
+    rows = build()
+    benchmark(build)
+    print()
+    print(
+        format_table(
+            ["k", "depth", "RBP strategy", "RBP formula", "PRBP strategy", "PRBP formula"],
+            rows,
+            title="Proposition 4.5 / Appendix A.2 — k-ary trees at r = k + 1",
+        )
+    )
+    for _, _, rbp, rbp_f, prbp, prbp_f in rows:
+        assert rbp == rbp_f and prbp == prbp_f and prbp <= rbp

@@ -1,0 +1,70 @@
+"""E06 — Proposition 4.7: a linear-factor gap between RBP and PRBP at r = 4.
+
+The chained Figure-1 gadget has OPT_PRBP = 2 regardless of its length, while
+OPT_RBP grows linearly (at least one I/O per gadget copy).  The benchmark
+validates the constant-cost PRBP strategy at increasing sizes and compares it
+with the analytic RBP lower bound and a greedy RBP upper bound.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.bounds.analytic import chained_gadget_prbp_optimal_cost, chained_gadget_rbp_lower_bound
+from repro.dags import chained_gadget_instance
+from repro.solvers.exhaustive import optimal_rbp_cost
+from repro.solvers.greedy import greedy_rbp_schedule
+from repro.solvers.structured import chained_gadget_prbp_schedule
+
+COPIES = [2, 8, 32, 128]
+
+
+@pytest.mark.parametrize("copies", COPIES)
+def bench_chained_prbp_constant_cost(benchmark, copies):
+    """PRBP cost stays at 2 for any number of copies."""
+    inst = chained_gadget_instance(copies)
+    cost = benchmark(lambda: chained_gadget_prbp_schedule(inst).cost())
+    assert cost == chained_gadget_prbp_optimal_cost() == 2
+
+
+@pytest.mark.parametrize("copies", [2, 8, 32])
+def bench_chained_rbp_greedy(benchmark, copies):
+    """Greedy RBP upper bound grows at least linearly (>= the analytic lower bound)."""
+    inst = chained_gadget_instance(copies)
+    cost = benchmark(lambda: greedy_rbp_schedule(inst.dag, 4).cost())
+    assert cost >= chained_gadget_rbp_lower_bound(copies)
+
+
+def bench_chained_single_copy_exact(benchmark):
+    """Exhaustive check of the per-gadget claim: one copy already forces RBP cost >= 3."""
+    inst = chained_gadget_instance(1)
+    cost = benchmark(lambda: optimal_rbp_cost(inst.dag, 4))
+    assert cost >= 3
+
+
+def bench_chained_table(benchmark):
+    """The linear-vs-constant table behind Proposition 4.7."""
+
+    def build():
+        rows = []
+        for copies in COPIES:
+            inst = chained_gadget_instance(copies)
+            prbp = chained_gadget_prbp_schedule(inst).cost()
+            rbp_lb = chained_gadget_rbp_lower_bound(copies)
+            rbp_greedy = greedy_rbp_schedule(inst.dag, 4).cost()
+            rows.append([copies, inst.dag.n, prbp, rbp_lb, rbp_greedy])
+        return rows
+
+    rows = build()
+    benchmark(build)
+    print()
+    print(
+        format_table(
+            ["copies", "n", "PRBP strategy", "RBP lower bound", "RBP greedy"],
+            rows,
+            title="Proposition 4.7 — chained gadgets at r = 4 (Θ(n) vs O(1))",
+        )
+    )
+    for copies, _, prbp, rbp_lb, rbp_greedy in rows:
+        assert prbp == 2
+        assert rbp_lb >= copies
+        assert rbp_greedy >= rbp_lb

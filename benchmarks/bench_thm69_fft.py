@@ -1,0 +1,53 @@
+"""E08 — Theorem 6.9: FFT lower bound Ω(m·log m / log r) carries over to PRBP.
+
+The blocked strategy's measured I/O and the S-dominator counting bound are
+reported side by side; the achievable cost must dominate the bound and both
+shrink as the cache grows (the crossover structure of the original RBP result
+is preserved).
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.bounds.analytic import fft_prbp_lower_bound
+from repro.dags import fft_instance
+from repro.solvers.structured import fft_blocked_prbp_schedule
+
+CASES = [(16, 4), (32, 4), (64, 4), (32, 8), (64, 8), (64, 16)]
+
+
+@pytest.mark.parametrize("m,r", CASES)
+def bench_fft_blocked_strategy(benchmark, m, r):
+    """Blocked PRBP strategy: O(m log m / log r) I/O, never below the Theorem 6.9 bound."""
+    inst = fft_instance(m)
+    cost = benchmark(lambda: fft_blocked_prbp_schedule(inst, r=r).cost())
+    assert cost >= fft_prbp_lower_bound(m, r)
+    assert cost >= inst.dag.trivial_cost()
+
+
+def bench_fft_table(benchmark):
+    """The Theorem 6.9 table: measured blocked cost vs the PRBP lower bound."""
+
+    def build():
+        rows = []
+        for m, r in CASES:
+            inst = fft_instance(m)
+            cost = fft_blocked_prbp_schedule(inst, r=r).cost()
+            rows.append([m, r, inst.dag.trivial_cost(), fft_prbp_lower_bound(m, r), cost])
+        return rows
+
+    rows = build()
+    benchmark(build)
+    print()
+    print(
+        format_table(
+            ["m", "r", "trivial", "PRBP lower bound", "blocked strategy"],
+            rows,
+            title="Theorem 6.9 — FFT I/O in PRBP",
+        )
+    )
+    for _, _, trivial, lower, cost in rows:
+        assert max(trivial, lower) <= cost
+    # growing the cache shrinks the measured cost (m = 64 rows)
+    m64 = [cost for m, r, _, _, cost in rows if m == 64]
+    assert m64 == sorted(m64, reverse=True)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Lower bounds for FFT, matrix multiplication and attention in PRBP (Section 6).
+
+For each of the three application DAGs of Section 6.3 the script reports the
+trivial cost, the PRBP lower bound obtained from the adapted partition
+concepts (Theorems 6.9–6.11 with the explicit constants of the proofs), and
+the measured I/O of an actual validated strategy (blocked FFT, tiled matmul,
+flash-attention-style tiling).  The strategies always dominate the bounds and
+show the predicted scaling in the cache size r.
+
+Run with:  python examples/lower_bounds_report.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.bounds.analytic import (
+    attention_prbp_lower_bound,
+    fft_prbp_lower_bound,
+    matmul_prbp_lower_bound,
+)
+from repro.dags import attention_instance, fft_instance, matmul_instance
+from repro.solvers.structured import (
+    attention_flash_prbp_schedule,
+    fft_blocked_prbp_schedule,
+    matmul_tiled_prbp_schedule,
+)
+
+
+def fft_report() -> None:
+    rows = []
+    for m, r in [(16, 4), (32, 4), (64, 4), (64, 8), (64, 16)]:
+        inst = fft_instance(m)
+        cost = fft_blocked_prbp_schedule(inst, r=r).cost()
+        rows.append([m, r, inst.dag.trivial_cost(), fft_prbp_lower_bound(m, r), cost])
+    print(
+        format_table(
+            ["m", "r", "trivial", "Thm 6.9 lower bound", "blocked strategy"],
+            rows,
+            title="FFT (Theorem 6.9): OPT_PRBP = Ω(m·log m / log r)",
+        )
+    )
+
+
+def matmul_report() -> None:
+    rows = []
+    for dims, r in [((6, 6, 6), 8), ((6, 6, 6), 18), ((8, 8, 8), 8), ((8, 8, 8), 32)]:
+        inst = matmul_instance(*dims)
+        cost = matmul_tiled_prbp_schedule(inst, r=r).cost()
+        rows.append(
+            ["x".join(map(str, dims)), r, inst.dag.trivial_cost(), matmul_prbp_lower_bound(*dims, r), cost]
+        )
+    print(
+        format_table(
+            ["dims", "r", "trivial", "Thm 6.10 lower bound", "tiled strategy"],
+            rows,
+            title="Matrix multiplication (Theorem 6.10): OPT_PRBP = Ω(m1·m2·m3/√r)",
+        )
+    )
+
+
+def attention_report() -> None:
+    rows = []
+    for m, d, r in [(12, 2, 8), (12, 2, 20), (16, 4, 24), (16, 4, 48)]:
+        inst = attention_instance(m, d)
+        cost = attention_flash_prbp_schedule(inst, r=r).cost()
+        regime = "small cache" if r <= d * d else "large cache"
+        rows.append([m, d, r, regime, inst.dag.trivial_cost(), attention_prbp_lower_bound(m, d, r), cost])
+    print(
+        format_table(
+            ["m", "d", "r", "regime", "trivial", "Thm 6.11 lower bound", "flash-style strategy"],
+            rows,
+            title="Attention (Theorem 6.11): OPT_PRBP = Ω(min(m²d/√r, m²d²/r))",
+        )
+    )
+
+
+def main() -> None:
+    fft_report()
+    print()
+    matmul_report()
+    print()
+    attention_report()
+    print()
+    print(
+        "The PRBP lower bounds match the known RBP bounds for these DAGs: partial\n"
+        "computations do not improve the asymptotic I/O complexity of FFT, matmul or\n"
+        "attention, exactly as Section 6.3 of the paper proves."
+    )
+
+
+if __name__ == "__main__":
+    main()

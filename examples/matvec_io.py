@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Matrix–vector multiplication: how partial computations remove all non-trivial I/O.
+
+Reproduces Proposition 4.3: for A·x with an m×m matrix and a cache of
+r = m + 3, the PRBP column-streaming strategy reads every input exactly once
+and writes every output exactly once (cost m² + 2m), while any RBP strategy
+must pay at least m² + 3m − 1.  A greedy RBP pebbling and a naive
+spill-everything baseline are shown for scale.
+
+Run with:  python examples/matvec_io.py [max_m]
+"""
+
+import sys
+
+from repro.analysis.reporting import format_table
+from repro.bounds.analytic import matvec_prbp_optimal_cost, matvec_rbp_lower_bound
+from repro.dags import matvec_instance
+from repro.solvers.baselines import naive_prbp_schedule
+from repro.solvers.greedy import greedy_rbp_schedule
+from repro.solvers.structured import matvec_prbp_schedule
+
+
+def main(max_m: int = 8) -> None:
+    rows = []
+    for m in range(3, max_m + 1):
+        inst = matvec_instance(m)
+        r = m + 3
+        prbp = matvec_prbp_schedule(inst, r=r)
+        rbp_greedy = greedy_rbp_schedule(inst.dag, r)
+        naive = naive_prbp_schedule(inst.dag)
+        rows.append(
+            [
+                m,
+                r,
+                inst.dag.trivial_cost(),
+                prbp.cost(),
+                matvec_rbp_lower_bound(m),
+                rbp_greedy.cost(),
+                naive.cost(),
+            ]
+        )
+        assert prbp.cost() == matvec_prbp_optimal_cost(m)
+    print(
+        format_table(
+            [
+                "m",
+                "r",
+                "trivial",
+                "PRBP strategy",
+                "RBP lower bound",
+                "RBP greedy",
+                "naive (spill all)",
+            ],
+            rows,
+            title="Proposition 4.3 — A·x with an m×m matrix, r = m + 3",
+        )
+    )
+    print()
+    print(
+        "The PRBP strategy always hits the trivial cost: every matrix entry is read once,\n"
+        "every output written once, because the m partially aggregated outputs stay in cache.\n"
+        "RBP cannot do this — it must gather all m products of a row simultaneously."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Reduction trees: the RBP/PRBP gap as a function of depth and arity.
+
+Reproduces Proposition 4.5 and Appendix A.2: at the critical cache size
+r = k + 1, the optimal RBP cost of a k-ary reduction tree is
+k^d + 2·k^(d-1) - 1 while PRBP only pays k^d + 2·k^(d-k) - 1 — partial
+computations make the bottom k + 1 levels free.  The strategies are replayed
+through the engines, and for small trees the exhaustive solver confirms they
+are optimal.
+
+Run with:  python examples/tree_scaling.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.dags import kary_tree_instance
+from repro.dags.trees import optimal_prbp_tree_cost, optimal_rbp_tree_cost
+from repro.solvers.exhaustive import optimal_prbp_cost, optimal_rbp_cost
+from repro.solvers.structured import tree_prbp_schedule, tree_rbp_schedule
+
+
+def main() -> None:
+    rows = []
+    for k, depth in [(2, 3), (2, 4), (2, 5), (2, 6), (3, 3), (3, 4), (4, 4)]:
+        inst = kary_tree_instance(k, depth)
+        rbp = tree_rbp_schedule(inst).cost()
+        prbp = tree_prbp_schedule(inst).cost()
+        rows.append(
+            [
+                k,
+                depth,
+                inst.dag.n,
+                rbp,
+                optimal_rbp_tree_cost(k, depth),
+                prbp,
+                optimal_prbp_tree_cost(k, depth),
+                f"{rbp / prbp:.2f}x",
+            ]
+        )
+    print(
+        format_table(
+            ["k", "depth", "nodes", "RBP", "RBP formula", "PRBP", "PRBP formula", "gap"],
+            rows,
+            title="Proposition 4.5 / Appendix A.2 — k-ary reduction trees at r = k + 1",
+        )
+    )
+
+    # exhaustive confirmation on the smallest interesting instance
+    small = kary_tree_instance(2, 3)
+    print()
+    print(
+        "Exhaustive check (binary tree, depth 3, r = 3): "
+        f"OPT_RBP = {optimal_rbp_cost(small.dag, 3)}, OPT_PRBP = {optimal_prbp_cost(small.dag, 3)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""RBP-vs-PRBP comparison harness.
+
+:func:`compare_models` bundles, for one DAG and capacity, the quantities the
+paper's examples revolve around: the trivial cost, the optimal (or best
+available) cost in both games, and their gap.  On small DAGs it uses the
+exhaustive solvers; on larger ones it falls back to the greedy strategies and
+marks the results as upper bounds.  The examples and several benchmarks print
+these records directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.dag import ComputationalDAG
+from ..core.exceptions import SolverError
+from ..core.variants import ONE_SHOT, GameVariant
+from ..solvers.exhaustive import optimal_prbp_cost, optimal_rbp_cost
+from ..solvers.greedy import greedy_rbp_schedule, topological_prbp_schedule
+
+__all__ = ["ModelComparison", "compare_models"]
+
+#: Above this node count the exhaustive solvers are not attempted.
+EXACT_NODE_LIMIT = 14
+
+
+@dataclass(frozen=True)
+class ModelComparison:
+    """Costs of one DAG under both games.
+
+    ``rbp_exact`` / ``prbp_exact`` record whether the corresponding cost is an
+    optimum (exhaustive solver) or only an achievable upper bound (greedy /
+    structured strategy).
+    """
+
+    dag_name: str
+    n: int
+    r: int
+    trivial_cost: int
+    rbp_cost: Optional[int]
+    rbp_exact: bool
+    prbp_cost: Optional[int]
+    prbp_exact: bool
+
+    @property
+    def gap(self) -> Optional[int]:
+        """``RBP - PRBP`` cost difference (None if either side is unavailable)."""
+        if self.rbp_cost is None or self.prbp_cost is None:
+            return None
+        return self.rbp_cost - self.prbp_cost
+
+    @property
+    def prbp_strictly_better(self) -> Optional[bool]:
+        """True iff partial computations strictly reduce the (measured) cost."""
+        gap = self.gap
+        return None if gap is None else gap > 0
+
+
+def compare_models(
+    dag: ComputationalDAG,
+    r: int,
+    variant: GameVariant = ONE_SHOT,
+    exact_node_limit: int = EXACT_NODE_LIMIT,
+    max_states: int = 500_000,
+) -> ModelComparison:
+    """Compare RBP and PRBP costs on ``dag`` with capacity ``r``.
+
+    Exhaustive optima are used when the DAG has at most ``exact_node_limit``
+    nodes and the search stays within ``max_states``; otherwise the greedy
+    upper-bound strategies are reported and flagged as inexact.
+    """
+    rbp_cost: Optional[int] = None
+    prbp_cost: Optional[int] = None
+    rbp_exact = prbp_exact = False
+    use_exact = dag.n <= exact_node_limit
+    if use_exact:
+        try:
+            rbp_cost = optimal_rbp_cost(dag, r, variant=variant, max_states=max_states)
+            rbp_exact = True
+        except SolverError:
+            rbp_cost = None
+        try:
+            prbp_cost = optimal_prbp_cost(dag, r, variant=variant, max_states=max_states)
+            prbp_exact = True
+        except SolverError:
+            prbp_cost = None
+    if rbp_cost is None:
+        try:
+            rbp_cost = greedy_rbp_schedule(dag, r, variant=variant).cost()
+        except SolverError:
+            rbp_cost = None
+    if prbp_cost is None:
+        try:
+            prbp_cost = topological_prbp_schedule(dag, r, variant=variant).cost()
+        except SolverError:
+            prbp_cost = None
+    return ModelComparison(
+        dag_name=dag.name,
+        n=dag.n,
+        r=r,
+        trivial_cost=dag.trivial_cost(),
+        rbp_cost=rbp_cost,
+        rbp_exact=rbp_exact,
+        prbp_cost=prbp_cost,
+        prbp_exact=prbp_exact,
+    )

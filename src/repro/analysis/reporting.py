@@ -1,0 +1,43 @@
+"""Plain-text table formatting used by the examples and benchmark harnesses.
+
+The benchmarks regenerate the paper's quantitative claims as rows of small
+tables; this module renders them consistently (fixed-width plain text and
+GitHub-flavoured markdown) without pulling in any heavyweight dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _stringify(rows: Sequence[Sequence[object]]) -> List[List[str]]:
+    return [[f"{cell:.4g}" if isinstance(cell, float) else str(cell) for cell in row] for row in rows]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render a fixed-width plain-text table (floats shown with 4 significant digits)."""
+    str_rows = _stringify(rows)
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    str_rows = _stringify(rows)
+    lines = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Parameter sweeps: run a cost function over a parameter grid and collect rows.
+
+The benchmark modules all follow the same shape — vary one or two parameters
+of a DAG family, evaluate a handful of cost functions (lower bound, PRBP
+strategy, RBP strategy/baseline), and print the rows next to the paper's
+claim.  :func:`run_sweep` factors that loop out so benchmarks stay small and
+uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from .reporting import format_table
+
+__all__ = ["SweepResult", "run_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """Rows produced by :func:`run_sweep` plus helpers to render them."""
+
+    parameter_names: Tuple[str, ...]
+    metric_names: Tuple[str, ...]
+    rows: List[Tuple[Tuple[object, ...], Dict[str, object]]] = field(default_factory=list)
+
+    def as_table(self, title: str = "") -> str:
+        """Render the sweep as a fixed-width text table."""
+        headers = list(self.parameter_names) + list(self.metric_names)
+        body = [
+            list(params) + [metrics.get(name, "") for name in self.metric_names]
+            for params, metrics in self.rows
+        ]
+        return format_table(headers, body, title=title)
+
+    def column(self, metric: str) -> List[object]:
+        """All values of one metric, in row order."""
+        return [metrics[metric] for _, metrics in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def run_sweep(
+    parameter_names: Sequence[str],
+    parameter_values: Iterable[Tuple[object, ...]],
+    metrics: Mapping[str, Callable[..., object]],
+) -> SweepResult:
+    """Evaluate ``metrics`` over every parameter tuple.
+
+    Each metric callable receives the parameter tuple unpacked as positional
+    arguments and its result is stored under the metric's name.
+    """
+    result = SweepResult(
+        parameter_names=tuple(parameter_names), metric_names=tuple(metrics.keys())
+    )
+    for params in parameter_values:
+        row = {name: fn(*params) for name, fn in metrics.items()}
+        result.rows.append((tuple(params), row))
+    return result

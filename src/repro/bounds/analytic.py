@@ -1,0 +1,198 @@
+"""Closed-form lower bounds and cost formulas for the paper's concrete computations.
+
+These functions implement the counting arguments of Sections 4 and 6 with the
+explicit constants that the proofs yield.  Asymptotic statements in the paper
+("``Ω(m log m / log r)``") are returned as the concrete expression derived in
+the corresponding proof, so that the benchmarks can compare an achievable
+strategy's measured cost against an actual number; the docstrings spell out
+which constant is used.
+
+Contents
+--------
+* Proposition 4.3 — matrix–vector multiplication: exact ``OPT_PRBP`` and the
+  RBP lower bound ``m² + 3m - 1``.
+* Proposition 4.7 — chained gadget: RBP lower bound linear in the number of
+  copies, PRBP cost 2.
+* Lemma 5.4 — fan-in DAG: lower bound on ``MIN_part(S)`` (the quantity that
+  *fails* to bound PRBP).
+* Theorem 6.9 — FFT: ``MIN_dom`` counting bound and the resulting PRBP bound.
+* Theorem 6.10 — matrix multiplication: ``MIN_edge`` counting bound and the
+  resulting PRBP bound.
+* Theorem 6.11 — attention: the two-regime bound.
+* Appendix A.2 — k-ary trees (re-exported from :mod:`repro.dags.trees`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..dags.trees import optimal_prbp_tree_cost, optimal_rbp_tree_cost
+
+__all__ = [
+    "matvec_prbp_optimal_cost",
+    "matvec_rbp_lower_bound",
+    "chained_gadget_rbp_lower_bound",
+    "chained_gadget_prbp_optimal_cost",
+    "fanin_min_part_lower_bound",
+    "fft_min_dom_lower_bound",
+    "fft_prbp_lower_bound",
+    "matmul_min_edge_lower_bound",
+    "matmul_prbp_lower_bound",
+    "attention_prbp_lower_bound",
+    "zipper_rbp_cost_estimate",
+    "zipper_prbp_cost_estimate",
+    "collection_io_lower_bound_without_full_pebbles",
+    "optimal_prbp_tree_cost",
+    "optimal_rbp_tree_cost",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Proposition 4.3 — matrix–vector multiplication
+# --------------------------------------------------------------------------- #
+
+
+def matvec_prbp_optimal_cost(m: int) -> int:
+    """``OPT_PRBP = m² + 2m`` for the ``m × m`` matrix–vector DAG with ``m + 3 <= r``.
+
+    This is the trivial cost (``m² + m`` sources, ``m`` sinks), achieved by
+    the column-streaming strategy of Proposition 4.3.
+    """
+    return m * m + 2 * m
+
+
+def matvec_rbp_lower_bound(m: int) -> int:
+    """Proposition 4.3's RBP lower bound ``m² + 3m - 1`` for ``m + 3 <= r <= 2m``.
+
+    One non-trivial I/O step occurs between any two consecutively computed
+    output entries, adding ``m - 1`` to the trivial cost.
+    """
+    return m * m + 3 * m - 1
+
+
+# --------------------------------------------------------------------------- #
+# Proposition 4.7 — chained Figure-1 gadgets
+# --------------------------------------------------------------------------- #
+
+
+def chained_gadget_prbp_optimal_cost() -> int:
+    """``OPT_PRBP = 2`` for the Proposition 4.7 chain, independent of its length."""
+    return 2
+
+
+def chained_gadget_rbp_lower_bound(copies: int) -> int:
+    """Proposition 4.7's RBP lower bound at ``r = 4``: one I/O per gadget copy plus the trivial 2."""
+    return copies + 2
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 5.4 — fan-in construction
+# --------------------------------------------------------------------------- #
+
+
+def fanin_min_part_lower_bound(num_groups: int, group_size: int, s: int) -> int:
+    """Lower bound on ``MIN_part(S)`` for the Figure 3 DAG when ``num_groups > S``.
+
+    At least one group ``H_i`` is disjoint from the sink's class (otherwise no
+    dominator of size ``S`` exists for it), and every node of that group then
+    lies in the terminal set of its own class, so at least
+    ``ceil(group_size / S)`` additional classes are needed.
+    """
+    if num_groups <= s:
+        return 1
+    return 1 + math.ceil(group_size / s)
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 6.9 — FFT
+# --------------------------------------------------------------------------- #
+
+
+def fft_min_dom_lower_bound(m: int, s: int) -> int:
+    """The [13] counting bound ``MIN_dom(S) >= m·log2(m) / (S·log2(S))`` (for ``S >= 2``).
+
+    Hong & Kung show that any set of ``S`` nodes dominates at most
+    ``S · log2(S)`` butterfly nodes' worth of "progress", so at least
+    ``m·log2(m) / (S·log2(S))`` classes are required.
+    """
+    if s < 2:
+        raise ValueError("S must be at least 2")
+    return max(1, math.ceil(m * math.log2(m) / (s * math.log2(s))))
+
+
+def fft_prbp_lower_bound(m: int, r: int) -> int:
+    """Theorem 6.9: ``OPT_PRBP >= r · (MIN_dom(2r) - 1)`` with the counting bound above."""
+    return max(0, r * (fft_min_dom_lower_bound(m, 2 * r) - 1))
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 6.10 — matrix multiplication
+# --------------------------------------------------------------------------- #
+
+
+def matmul_min_edge_lower_bound(m1: int, m2: int, m3: int, s: int) -> int:
+    """Theorem 6.10's counting bound ``MIN_edge(S) >= m1·m2·m3 / (2·√2·S^{3/2} + S)``.
+
+    An edge class has at most ``S`` source nodes in its edge-dominator and at
+    most ``S`` sinks in its edge-terminal set; by the Loomis–Whitney argument
+    of [13] those cover at most ``2·√2·S^{3/2}`` internal (product) nodes, and
+    the at most ``S`` internal nodes of the edge-dominator cover one internal
+    edge each.
+    """
+    per_class = 2.0 * math.sqrt(2.0) * s ** 1.5 + s
+    return max(1, math.ceil(m1 * m2 * m3 / per_class))
+
+
+def matmul_prbp_lower_bound(m1: int, m2: int, m3: int, r: int) -> int:
+    """Theorem 6.10: ``OPT_PRBP >= r · (MIN_edge(2r) - 1)`` with the counting bound above."""
+    return max(0, r * (matmul_min_edge_lower_bound(m1, m2, m3, 2 * r) - 1))
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 6.11 — attention
+# --------------------------------------------------------------------------- #
+
+
+def attention_prbp_lower_bound(m: int, d: int, r: int) -> int:
+    """Theorem 6.11: ``OPT_PRBP >= Ω(min(m²·d/√r, m²·d²/r))`` with the proof's constants.
+
+    In the small-cache regime (``r <= d²``) the bound reduces to matrix
+    multiplication with dimensions ``m × d × m``.  In the large-cache regime
+    every ``(2r)``-edge-partition class contains at most
+    ``4·(2r)·d + 4·(2r)²/d`` internal edges (4r trees touched by the
+    dominator/terminal sets plus the extra trees), giving
+    ``MIN_edge(2r) >= m²·d / (8rd + 16r²/d)`` and the bound
+    ``r · (MIN_edge(2r) - 1)``.
+    """
+    if r <= d * d:
+        return matmul_prbp_lower_bound(m, d, m, r)
+    s = 2 * r
+    per_class = 2.0 * s * d + (s * s) / d
+    min_edge = max(1, math.ceil(m * m * d / per_class))
+    return max(0, r * (min_edge - 1))
+
+
+# --------------------------------------------------------------------------- #
+# Proposition 4.4 / 4.6 — zipper and pebble collection gadgets
+# --------------------------------------------------------------------------- #
+
+
+def zipper_rbp_cost_estimate(d: int, length: int) -> int:
+    """RBP cost of the alternating-group strategy at ``r = d + 2``: ``d`` loads per chain node + 1 save."""
+    return d * length + 1
+
+
+def zipper_prbp_cost_estimate(d: int, length: int) -> int:
+    """PRBP cost of the Proposition 4.4 two-phase strategy at ``r = d + 2``.
+
+    ``2d`` source loads, one save + one load for (roughly) every second chain
+    node, and the final sink save; exact value matches the validated
+    :func:`repro.solvers.structured.zipper_prbp_schedule`.
+    """
+    evens = (length + 1) // 2  # chain nodes pre-aggregated (and saved) in phase 1
+    return 2 * d + 2 * evens + (1 if length > 1 else 0)
+
+
+def collection_io_lower_bound_without_full_pebbles(d: int, length: int) -> int:
+    """Proposition 4.6: a PRBP strategy never holding ``d + 2`` pebbles on the gadget costs ``>= length / (2d)``."""
+    return math.ceil(length / (2 * d))

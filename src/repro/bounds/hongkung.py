@@ -1,0 +1,38 @@
+"""Hong & Kung's RBP lower bound from S-partitions (Section 5.1).
+
+If ``MIN_part(S)`` denotes the minimum number of classes of any S-partition
+of a DAG, then for every capacity ``r``::
+
+    OPT_RBP  >=  r * (MIN_part(2r) - 1)
+
+This module exposes the bound both in its exact form (using the exact
+``MIN_part`` search of :mod:`repro.bounds.minpart`, feasible for small DAGs)
+and in a generic form taking a caller-supplied lower bound on ``MIN_part``
+(used with the analytic counting bounds of :mod:`repro.bounds.analytic`).
+"""
+
+from __future__ import annotations
+
+from ..core.dag import ComputationalDAG
+from .minpart import EXACT_SEARCH_NODE_LIMIT, min_spartition_classes
+
+__all__ = ["rbp_lower_bound_from_min_part", "rbp_lower_bound_exact"]
+
+
+def rbp_lower_bound_from_min_part(r: int, min_part_2r: int) -> int:
+    """``r * (MIN_part(2r) - 1)`` given a (lower bound on) ``MIN_part(2r)``."""
+    return max(0, r * (min_part_2r - 1))
+
+
+def rbp_lower_bound_exact(
+    dag: ComputationalDAG, r: int, max_nodes: int = EXACT_SEARCH_NODE_LIMIT
+) -> int:
+    """Exact Hong–Kung lower bound on ``OPT_RBP`` for a small DAG.
+
+    Computes ``MIN_part(2r)`` exactly and returns ``r * (MIN_part(2r) - 1)``.
+    Note that the trivial cost (number of sources plus sinks) is an
+    independent lower bound; callers usually report
+    ``max(trivial, hong_kung)``.
+    """
+    k = min_spartition_classes(dag, 2 * r, max_nodes=max_nodes)
+    return rbp_lower_bound_from_min_part(r, k)

@@ -1,0 +1,259 @@
+"""Minimum S-partitions: exact search on small DAGs and greedy upper bounds.
+
+The Hong–Kung style lower bounds need *lower* bounds on ``MIN_part(S)`` /
+``MIN_dom(S)`` / ``MIN_edge(S)`` — for the structured DAG families these come
+from the counting arguments in :mod:`repro.bounds.analytic`.  This module
+complements them with two generic tools:
+
+* **exact minimisation** on small DAGs (:func:`min_spartition_classes`,
+  :func:`min_dominator_partition_classes`, :func:`min_edge_partition_classes`)
+  — condition (i) of the definitions forces the prefix unions of any valid
+  partition to be predecessor-closed sets (*downsets*), so the minimum number
+  of classes is a shortest path in the lattice of downsets, which we search
+  with a breadth-first scan and a monotone dominator-size prune;
+* **greedy construction** (:func:`greedy_spartition`, ...) — a valid
+  partition built by scanning a topological order and closing the current
+  class as soon as the next node would violate a condition.  Greedy results
+  are *upper* bounds on the minimum and are mainly used to sandwich the exact
+  value in tests and to report achievable partitions in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.dag import ComputationalDAG, Edge
+from ..core.exceptions import SolverError
+from .dominators import (
+    edge_start_set,
+    edge_terminal_set,
+    minimum_dominator_size,
+    minimum_edge_dominator_size,
+    terminal_set,
+)
+from .partitions import SDominatorPartition, SEdgePartition, SPartition
+
+__all__ = [
+    "min_spartition_classes",
+    "min_dominator_partition_classes",
+    "min_edge_partition_classes",
+    "greedy_spartition",
+    "greedy_dominator_partition",
+    "greedy_edge_partition",
+    "EXACT_SEARCH_NODE_LIMIT",
+]
+
+#: Exact partition search is refused above this node (or edge) count.
+EXACT_SEARCH_NODE_LIMIT = 16
+
+
+def _min_classes_over_downsets(
+    n_items: int,
+    closure_preds: Sequence[Sequence[int]],
+    class_is_valid,
+    max_items: int,
+    item_order: Optional[Sequence[int]] = None,
+) -> int:
+    """Shortest chain of downsets ``∅ = I_0 ⊂ I_1 ⊂ ... ⊂ I_k = all`` with valid increments.
+
+    ``closure_preds[i]`` lists the items that must already be covered before
+    item ``i`` may be added (predecessor closure).  ``class_is_valid(W)``
+    returns a pair ``(valid, prunable)``; ``prunable=True`` asserts that no
+    superset of ``W`` can be valid (sound for the monotone dominator-size
+    condition, never asserted for the non-monotone terminal condition).
+
+    ``item_order`` must list the items in a prerequisite-respecting order
+    (prerequisites before dependents).  The class-enumeration DFS walks the
+    remaining items in that order, so every prerequisite-closed candidate
+    class is reachable by adding items left to right.
+    """
+    if n_items == 0:
+        return 0
+    if n_items > max_items:
+        raise SolverError(
+            f"exact partition search supports at most {max_items} items, got {n_items}"
+        )
+    order = list(item_order) if item_order is not None else list(range(n_items))
+    if sorted(order) != list(range(n_items)):
+        raise ValueError("item_order must be a permutation of the items")
+    full = frozenset(range(n_items))
+    dist: Dict[FrozenSet[int], int] = {frozenset(): 0}
+    queue = deque([frozenset()])
+    while queue:
+        ideal = queue.popleft()
+        d = dist[ideal]
+        if ideal == full:
+            return d
+        remaining = [i for i in order if i not in ideal]
+
+        found_classes: List[FrozenSet[int]] = []
+
+        def extend(current: Set[int], start_idx: int) -> None:
+            if current:
+                valid, prunable = class_is_valid(frozenset(current))
+                if not valid and prunable:
+                    return
+                if valid:
+                    found_classes.append(frozenset(current))
+            for pos in range(start_idx, len(remaining)):
+                item = remaining[pos]
+                if all((p in ideal or p in current) for p in closure_preds[item]):
+                    current.add(item)
+                    extend(current, pos + 1)
+                    current.remove(item)
+
+        extend(set(), 0)
+        for cls in found_classes:
+            new_ideal = frozenset(ideal | cls)
+            if new_ideal not in dist:
+                dist[new_ideal] = d + 1
+                queue.append(new_ideal)
+    raise SolverError("no valid partition exists (this should be impossible for S >= 1)")
+
+
+def min_dominator_partition_classes(
+    dag: ComputationalDAG, s: int, max_nodes: int = EXACT_SEARCH_NODE_LIMIT
+) -> int:
+    """Exact ``MIN_dom(S)``: the minimum number of classes of any S-dominator partition."""
+    preds = [list(dag.predecessors(v)) for v in dag.nodes()]
+
+    def valid(cls: FrozenSet[int]) -> Tuple[bool, bool]:
+        ok = minimum_dominator_size(dag, cls) <= s
+        # dominator size is monotone in the class, so an invalid class can
+        # never become valid by adding more nodes -> prunable
+        return ok, not ok
+
+    return _min_classes_over_downsets(
+        dag.n, preds, valid, max_nodes, item_order=dag.topological_order
+    )
+
+
+def min_spartition_classes(
+    dag: ComputationalDAG, s: int, max_nodes: int = EXACT_SEARCH_NODE_LIMIT
+) -> int:
+    """Exact ``MIN_part(S)``: the minimum number of classes of any S-partition."""
+    preds = [list(dag.predecessors(v)) for v in dag.nodes()]
+
+    def valid(cls: FrozenSet[int]) -> Tuple[bool, bool]:
+        dom_ok = minimum_dominator_size(dag, cls) <= s
+        if not dom_ok:
+            return False, True  # prunable: dominators only grow
+        term_ok = len(terminal_set(dag, cls)) <= s
+        # terminal sets are not monotone, so a terminal violation must not prune
+        return term_ok, False
+
+    return _min_classes_over_downsets(
+        dag.n, preds, valid, max_nodes, item_order=dag.topological_order
+    )
+
+
+def min_edge_partition_classes(
+    dag: ComputationalDAG, s: int, max_edges: int = EXACT_SEARCH_NODE_LIMIT
+) -> int:
+    """Exact ``MIN_edge(S)``: the minimum number of classes of any S-edge partition."""
+    # prerequisite of edge (u, v): every in-edge of u
+    prereqs: List[List[int]] = []
+    for (u, v) in dag.edges:
+        prereqs.append([dag.edge_id(p, u) for p in dag.predecessors(u)])
+
+    def valid(cls: FrozenSet[int]) -> Tuple[bool, bool]:
+        edges = [dag.edges[e] for e in cls]
+        dom_ok = minimum_edge_dominator_size(dag, edges) <= s
+        if not dom_ok:
+            return False, True
+        term_ok = len(edge_terminal_set(dag, edges)) <= s
+        return term_ok, False
+
+    # order the edge items so that prerequisites (in-edges of the tail) come first
+    pos = dag.topological_position()
+    edge_order = sorted(range(dag.m), key=lambda e: (pos[dag.edges[e][1]], pos[dag.edges[e][0]]))
+    return _min_classes_over_downsets(dag.m, prereqs, valid, max_edges, item_order=edge_order)
+
+
+# --------------------------------------------------------------------------- #
+# greedy constructions (upper bounds on the minima)
+# --------------------------------------------------------------------------- #
+
+
+def greedy_dominator_partition(dag: ComputationalDAG, s: int) -> SDominatorPartition:
+    """Greedy S-dominator partition built along a topological order."""
+    classes: List[List[int]] = []
+    current: List[int] = []
+    for v in dag.topological_order:
+        candidate = current + [v]
+        if minimum_dominator_size(dag, candidate) <= s:
+            current = candidate
+        else:
+            if not current:
+                raise SolverError(f"S = {s} is too small: node {v} alone has no dominator of size {s}")
+            classes.append(current)
+            current = [v]
+            if minimum_dominator_size(dag, current) > s:
+                raise SolverError(f"S = {s} is too small: node {v} alone has no dominator of size {s}")
+    if current:
+        classes.append(current)
+    partition = SDominatorPartition(dag=dag, s=s, classes=classes)
+    partition.verify()
+    return partition
+
+
+def greedy_spartition(dag: ComputationalDAG, s: int) -> SPartition:
+    """Greedy S-partition built along a topological order."""
+    classes: List[List[int]] = []
+    current: List[int] = []
+
+    def feasible(cls: List[int]) -> bool:
+        return (
+            minimum_dominator_size(dag, cls) <= s
+            and len(terminal_set(dag, cls)) <= s
+        )
+
+    for v in dag.topological_order:
+        candidate = current + [v]
+        if feasible(candidate):
+            current = candidate
+        else:
+            if not current:
+                raise SolverError(f"S = {s} is too small for a singleton class of node {v}")
+            classes.append(current)
+            current = [v]
+            if not feasible(current):
+                raise SolverError(f"S = {s} is too small for a singleton class of node {v}")
+    if current:
+        classes.append(current)
+    partition = SPartition(dag=dag, s=s, classes=classes)
+    partition.verify()
+    return partition
+
+
+def greedy_edge_partition(dag: ComputationalDAG, s: int) -> SEdgePartition:
+    """Greedy S-edge partition built along a topological order of the edges."""
+    # order edges by (topological position of head, then tail)
+    pos = dag.topological_position()
+    ordered_edges = sorted(dag.edges, key=lambda e: (pos[e[1]], pos[e[0]]))
+    classes: List[List[Edge]] = []
+    current: List[Edge] = []
+
+    def feasible(cls: List[Edge]) -> bool:
+        return (
+            minimum_edge_dominator_size(dag, cls) <= s
+            and len(edge_terminal_set(dag, cls)) <= s
+        )
+
+    for e in ordered_edges:
+        candidate = current + [e]
+        if feasible(candidate):
+            current = candidate
+        else:
+            if not current:
+                raise SolverError(f"S = {s} is too small for a singleton edge class of {e}")
+            classes.append(current)
+            current = [e]
+            if not feasible(current):
+                raise SolverError(f"S = {s} is too small for a singleton edge class of {e}")
+    if current:
+        classes.append(current)
+    partition = SEdgePartition(dag=dag, s=s, classes=classes)
+    partition.verify()
+    return partition

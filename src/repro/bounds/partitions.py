@@ -1,0 +1,275 @@
+"""S-partitions, S-dominator partitions and S-edge partitions (Sections 5 and 6).
+
+Three partition concepts are implemented as verified value objects:
+
+* :class:`SPartition` — Hong & Kung's Definition 5.3 (node classes, ordering
+  + dominator + terminal conditions);
+* :class:`SDominatorPartition` — Definition 6.6 (terminal condition dropped);
+* :class:`SEdgePartition` — Definition 6.3 (edge classes, edge-dominator and
+  edge-terminal conditions).
+
+Each class has a ``verify`` method that checks its definition exactly (using
+the max-flow dominator computation), raising
+:class:`~repro.core.exceptions.PartitionError` with the violated condition.
+
+The module also implements the *constructive* halves of the paper's lemmas —
+the maps from pebbling strategies to partitions:
+
+* :func:`spartition_from_rbp_schedule` — Hong & Kung's original argument:
+  an RBP strategy of cost ``C`` with capacity ``r`` yields a ``2r``-partition
+  into ``ceil(C / r)`` classes.
+* :func:`edge_partition_from_prbp_schedule` — Lemma 6.4 for PRBP.
+* :func:`dominator_partition_from_prbp_schedule` — Lemma 6.8 for PRBP.
+
+These converters are exercised heavily by the property-based tests: for
+random DAGs and arbitrary valid strategies, the extracted partitions must
+always verify — which is exactly the content of the lemmas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Set, Tuple
+
+from ..core.dag import ComputationalDAG, Edge
+from ..core.exceptions import PartitionError
+from ..core.moves import MoveKind
+from ..core.pebbles import PRBPState
+from ..core.prbp import PRBPGame
+from ..core.rbp import RBPGame
+from ..core.strategy import PRBPSchedule, RBPSchedule
+from .dominators import (
+    edge_terminal_set,
+    minimum_dominator_size,
+    minimum_edge_dominator_size,
+    terminal_set,
+)
+
+__all__ = [
+    "SPartition",
+    "SDominatorPartition",
+    "SEdgePartition",
+    "spartition_from_rbp_schedule",
+    "edge_partition_from_prbp_schedule",
+    "dominator_partition_from_prbp_schedule",
+]
+
+
+def _check_node_cover(dag: ComputationalDAG, classes: Sequence[Sequence[int]]) -> None:
+    seen: Set[int] = set()
+    for cls in classes:
+        for v in cls:
+            if v in seen:
+                raise PartitionError(f"node {v} appears in more than one class")
+            if not (0 <= v < dag.n):
+                raise PartitionError(f"node {v} is not a node of the DAG")
+            seen.add(v)
+    if len(seen) != dag.n:
+        missing = sorted(set(range(dag.n)) - seen)
+        raise PartitionError(f"classes do not cover all nodes; missing: {missing[:10]}")
+
+
+def _check_node_ordering(dag: ComputationalDAG, classes: Sequence[Sequence[int]]) -> None:
+    index = {}
+    for i, cls in enumerate(classes):
+        for v in cls:
+            index[v] = i
+    for u, v in dag.edges:
+        if index[u] > index[v]:
+            raise PartitionError(
+                f"cyclic dependency between classes: edge ({u}, {v}) goes from class "
+                f"{index[u]} back to class {index[v]}"
+            )
+
+
+@dataclass
+class SDominatorPartition:
+    """An S-dominator partition (Definition 6.6): ordered node classes with small dominators."""
+
+    dag: ComputationalDAG
+    s: int
+    classes: List[List[int]]
+
+    def verify(self) -> None:
+        """Check the definition exactly; raise :class:`PartitionError` on any violation."""
+        _check_node_cover(self.dag, self.classes)
+        _check_node_ordering(self.dag, self.classes)
+        for i, cls in enumerate(self.classes):
+            dom = minimum_dominator_size(self.dag, cls)
+            if dom > self.s:
+                raise PartitionError(
+                    f"class {i} has minimum dominator size {dom} > S = {self.s}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.classes)
+
+
+@dataclass
+class SPartition(SDominatorPartition):
+    """A full S-partition (Definition 5.3): additionally the terminal sets are small."""
+
+    def verify(self) -> None:
+        super().verify()
+        for i, cls in enumerate(self.classes):
+            term = terminal_set(self.dag, cls)
+            if len(term) > self.s:
+                raise PartitionError(
+                    f"class {i} has terminal set of size {len(term)} > S = {self.s}"
+                )
+
+
+@dataclass
+class SEdgePartition:
+    """An S-edge partition (Definition 6.3): ordered edge classes with small edge-dominators/terminals."""
+
+    dag: ComputationalDAG
+    s: int
+    classes: List[List[Edge]]
+
+    def verify(self) -> None:
+        """Check the definition exactly; raise :class:`PartitionError` on any violation."""
+        seen: Set[Edge] = set()
+        for cls in self.classes:
+            for e in cls:
+                if e in seen:
+                    raise PartitionError(f"edge {e} appears in more than one class")
+                if not self.dag.has_edge(*e):
+                    raise PartitionError(f"{e} is not an edge of the DAG")
+                seen.add(e)
+        if len(seen) != self.dag.m:
+            raise PartitionError(
+                f"classes cover {len(seen)} edges but the DAG has {self.dag.m}"
+            )
+        # condition (i): for (u, v) and (v, w), the class of (v, w) is not earlier
+        index = {}
+        for i, cls in enumerate(self.classes):
+            for e in cls:
+                index[e] = i
+        for u, v in self.dag.edges:
+            for w in self.dag.successors(v):
+                if index[(v, w)] < index[(u, v)]:
+                    raise PartitionError(
+                        f"ordering violated: edge ({v}, {w}) is in class {index[(v, w)]} but its "
+                        f"prerequisite ({u}, {v}) is in the later class {index[(u, v)]}"
+                    )
+        for i, cls in enumerate(self.classes):
+            dom = minimum_edge_dominator_size(self.dag, cls)
+            if dom > self.s:
+                raise PartitionError(
+                    f"edge class {i} has minimum edge-dominator size {dom} > S = {self.s}"
+                )
+            term = edge_terminal_set(self.dag, cls)
+            if len(term) > self.s:
+                raise PartitionError(
+                    f"edge class {i} has edge-terminal set of size {len(term)} > S = {self.s}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.classes)
+
+
+# --------------------------------------------------------------------------- #
+# strategy → partition extraction
+# --------------------------------------------------------------------------- #
+
+
+def _subsequence_index(moves, r: int) -> List[int]:
+    """For every move position, the index of the r-I/O subsequence it belongs to.
+
+    Subsequence ``i`` (0-based) ends with the ``(i+1)·r``-th I/O operation;
+    trailing non-I/O moves are folded into the last subsequence, as in the
+    proofs of Lemma 6.4 / 6.8.
+    """
+    idx: List[int] = []
+    io_seen = 0
+    for mv in moves:
+        idx.append(io_seen // r)
+        if mv.is_io:
+            io_seen += 1
+    if not idx:
+        return idx
+    last = max(0, (io_seen - 1) // r) if io_seen else 0
+    return [min(i, last) for i in idx]
+
+
+def spartition_from_rbp_schedule(schedule: RBPSchedule) -> SPartition:
+    """Hong & Kung's extraction: a ``2r``-partition from a valid one-shot RBP schedule.
+
+    Every node is assigned to the subsequence in which it *first receives a
+    red pebble* (sources: their first load; computed nodes: their compute
+    step).  The resulting partition has at most ``ceil(C / r)`` classes for a
+    schedule of I/O cost ``C``.
+    """
+    dag, r = schedule.dag, schedule.r
+    sub_of = _subsequence_index(schedule.moves, r)
+    n_subs = (max(sub_of) + 1) if sub_of else 1
+    first_red: dict = {}
+    game = RBPGame(dag, r, variant=schedule.variant, record_history=False)
+    for pos, mv in enumerate(schedule.moves):
+        game.apply(mv)
+        if mv.kind in (MoveKind.LOAD, MoveKind.COMPUTE) and mv.node not in first_red:
+            first_red[mv.node] = sub_of[pos]
+    game.assert_terminal()
+    classes: List[List[int]] = [[] for _ in range(n_subs)]
+    for v in dag.nodes():
+        if v in first_red:
+            classes[first_red[v]].append(v)
+        else:
+            # a source that is never loaded (e.g. never needed); Hong & Kung
+            # place it into the first class, where it is its own dominator
+            classes[0].append(v)
+    classes = [cls for cls in classes if cls]
+    return SPartition(dag=dag, s=2 * r, classes=classes)
+
+
+def edge_partition_from_prbp_schedule(schedule: PRBPSchedule) -> SEdgePartition:
+    """Lemma 6.4: a ``2r``-edge partition extracted from a valid PRBP schedule.
+
+    Every edge is assigned to the subsequence in which its (unique, one-shot)
+    partial compute step happens.
+    """
+    dag, r = schedule.dag, schedule.r
+    sub_of = _subsequence_index(schedule.moves, r)
+    n_subs = (max(sub_of) + 1) if sub_of else 1
+    classes: List[List[Edge]] = [[] for _ in range(n_subs)]
+    game = PRBPGame(dag, r, variant=schedule.variant, record_history=False)
+    for pos, mv in enumerate(schedule.moves):
+        game.apply(mv)
+        if mv.kind is MoveKind.COMPUTE:
+            assert mv.edge is not None
+            classes[sub_of[pos]].append(mv.edge)
+    game.assert_terminal()
+    classes = [cls for cls in classes if cls]
+    return SEdgePartition(dag=dag, s=2 * r, classes=classes)
+
+
+def dominator_partition_from_prbp_schedule(schedule: PRBPSchedule) -> SDominatorPartition:
+    """Lemma 6.8: a ``2r``-dominator partition extracted from a valid PRBP schedule.
+
+    Every non-source node is assigned to the subsequence containing the *last*
+    partial compute step on one of its in-edges; every source is assigned to
+    the subsequence of its first load.
+    """
+    dag, r = schedule.dag, schedule.r
+    sub_of = _subsequence_index(schedule.moves, r)
+    n_subs = (max(sub_of) + 1) if sub_of else 1
+    last_compute: dict = {}
+    first_load: dict = {}
+    game = PRBPGame(dag, r, variant=schedule.variant, record_history=False)
+    for pos, mv in enumerate(schedule.moves):
+        game.apply(mv)
+        if mv.kind is MoveKind.COMPUTE:
+            assert mv.edge is not None
+            last_compute[mv.edge[1]] = sub_of[pos]
+        elif mv.kind is MoveKind.LOAD and mv.node not in first_load:
+            first_load[mv.node] = sub_of[pos]
+    game.assert_terminal()
+    classes: List[List[int]] = [[] for _ in range(n_subs)]
+    for v in dag.nodes():
+        if dag.is_source(v):
+            classes[first_load.get(v, 0)].append(v)
+        else:
+            classes[last_compute[v]].append(v)
+    classes = [cls for cls in classes if cls]
+    return SDominatorPartition(dag=dag, s=2 * r, classes=classes)

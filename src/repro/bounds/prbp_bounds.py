@@ -1,0 +1,53 @@
+"""PRBP lower bounds from the adapted partition concepts (Theorems 6.5 and 6.7).
+
+The classic S-partition bound does *not* carry over to PRBP (Lemma 5.4 — see
+:mod:`repro.dags.fanin` and experiment E07); the two adapted tools do:
+
+* Theorem 6.5 (S-edge partitions):   ``OPT_PRBP >= r * (MIN_edge(2r) - 1)``
+* Theorem 6.7 (S-dominator partitions): ``OPT_PRBP >= r * (MIN_dom(2r) - 1)``
+
+As for the RBP bound, each is exposed in exact form (small DAGs) and in a
+generic form taking an externally derived lower bound on the partition size.
+"""
+
+from __future__ import annotations
+
+from ..core.dag import ComputationalDAG
+from .minpart import (
+    EXACT_SEARCH_NODE_LIMIT,
+    min_dominator_partition_classes,
+    min_edge_partition_classes,
+)
+
+__all__ = [
+    "prbp_lower_bound_from_min_edge",
+    "prbp_lower_bound_from_min_dom",
+    "prbp_edge_lower_bound_exact",
+    "prbp_dominator_lower_bound_exact",
+]
+
+
+def prbp_lower_bound_from_min_edge(r: int, min_edge_2r: int) -> int:
+    """Theorem 6.5: ``r * (MIN_edge(2r) - 1)`` given a (lower bound on) ``MIN_edge(2r)``."""
+    return max(0, r * (min_edge_2r - 1))
+
+
+def prbp_lower_bound_from_min_dom(r: int, min_dom_2r: int) -> int:
+    """Theorem 6.7: ``r * (MIN_dom(2r) - 1)`` given a (lower bound on) ``MIN_dom(2r)``."""
+    return max(0, r * (min_dom_2r - 1))
+
+
+def prbp_edge_lower_bound_exact(
+    dag: ComputationalDAG, r: int, max_edges: int = EXACT_SEARCH_NODE_LIMIT
+) -> int:
+    """Exact Theorem 6.5 lower bound on ``OPT_PRBP`` for a small DAG."""
+    k = min_edge_partition_classes(dag, 2 * r, max_edges=max_edges)
+    return prbp_lower_bound_from_min_edge(r, k)
+
+
+def prbp_dominator_lower_bound_exact(
+    dag: ComputationalDAG, r: int, max_nodes: int = EXACT_SEARCH_NODE_LIMIT
+) -> int:
+    """Exact Theorem 6.7 lower bound on ``OPT_PRBP`` for a small DAG."""
+    k = min_dominator_partition_classes(dag, 2 * r, max_nodes=max_nodes)
+    return prbp_lower_bound_from_min_dom(r, k)

@@ -1,0 +1,119 @@
+"""RBP → PRBP schedule conversion (Proposition 4.1).
+
+Proposition 4.1 of the paper observes that any pebbling strategy in RBP can
+be converted into a PRBP strategy of the same I/O cost: a compute step on a
+node ``v`` is replaced by (at most) ``deg_in(v)`` consecutive partial compute
+steps, one per in-edge; loads, saves and deletes translate one-to-one.  This
+immediately gives ``OPT_PRBP <= OPT_RBP`` whenever ``r >= Δ_in + 1``.
+
+The translation is purely syntactic except for two bookkeeping details that
+the converter handles:
+
+* In RBP, a red pebble on ``v`` means "the final value of ``v`` is in fast
+  memory", and a save simply copies it to slow memory.  In PRBP, after the
+  last partial compute, ``v`` carries a *dark red* pebble, and an RBP delete
+  of an unsaved value is only legal once all of ``v``'s out-edges are marked.
+  Because we replay the RBP schedule faithfully, whenever RBP deletes a red
+  pebble from a node that still has unmarked out-edges but holds a blue
+  pebble (i.e. it was saved earlier), the node is in state
+  ``BLUE_LIGHT_RED`` and the delete is legal; whenever it has *no* blue
+  pebble, the RBP strategy itself can never use the value again (re-loading
+  requires a blue pebble), so in the one-shot game all of its consumed
+  out-edges were already computed — the converter therefore first marks any
+  remaining out-edge only if the RBP schedule computed the consumer later,
+  which cannot happen for a deleted, unsaved value.  In that case the
+  one-shot RBP schedule can only be valid if those consumers are never
+  computed at all, which the engine rejects; valid inputs never reach this
+  corner.
+* Sliding computes (Appendix B.2) are rejected: they have no direct PRBP
+  analogue (PRBP already aggregates in place).
+
+The inverse direction does not hold in general — that is the whole point of
+the paper — so no PRBP → RBP converter exists.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .dag import ComputationalDAG
+from .exceptions import IllegalMoveError
+from .moves import MoveKind, PRBPMove, RBPMove
+from .strategy import PRBPSchedule, RBPSchedule
+from .variants import GameVariant
+
+__all__ = ["convert_rbp_to_prbp", "convert_rbp_moves_to_prbp_moves"]
+
+
+def convert_rbp_moves_to_prbp_moves(
+    dag: ComputationalDAG, moves: List[RBPMove]
+) -> List[PRBPMove]:
+    """Translate an RBP move list into a PRBP move list of equal I/O cost.
+
+    The caller is responsible for the RBP schedule being valid; the result is
+    meant to be validated by replaying it through :class:`PRBPGame`.
+    """
+    out: List[PRBPMove] = []
+    for mv in moves:
+        if mv.kind is MoveKind.LOAD:
+            out.append(PRBPMove(MoveKind.LOAD, node=mv.node))
+        elif mv.kind is MoveKind.SAVE:
+            out.append(PRBPMove(MoveKind.SAVE, node=mv.node))
+        elif mv.kind is MoveKind.DELETE:
+            out.append(PRBPMove(MoveKind.DELETE, node=mv.node))
+        elif mv.kind is MoveKind.COMPUTE:
+            if mv.slide_from is not None:
+                raise IllegalMoveError(
+                    "cannot convert a sliding compute move to PRBP (Proposition 4.1 applies "
+                    "to the standard compute rule only)"
+                )
+            for u in dag.predecessors(mv.node):
+                out.append(PRBPMove(MoveKind.COMPUTE, edge=(u, mv.node)))
+        else:  # pragma: no cover - RBP moves cannot be CLEAR
+            raise IllegalMoveError(f"unexpected RBP move kind {mv.kind!r}")
+    return out
+
+
+def convert_rbp_to_prbp(schedule: RBPSchedule) -> PRBPSchedule:
+    """Convert a validated RBP schedule into a PRBP schedule of the same I/O cost.
+
+    The PRBP side has one subtlety the raw move translation cannot see: an
+    RBP save of a node that was *loaded* (not freshly computed) copies a
+    value that slow memory already holds, which in PRBP corresponds to a node
+    in state ``BLUE_LIGHT_RED`` — and the PRBP save rule only applies to dark
+    red pebbles.  Such saves are pure waste in RBP (the blue pebble is
+    already there), but they are legal, so to preserve validity *and* cost we
+    keep the I/O operation and emit a (useless but legal) ``load`` instead.
+    The converted schedule therefore always has exactly the same I/O cost.
+    """
+    prbp_moves = convert_rbp_moves_to_prbp_moves(schedule.dag, schedule.moves)
+    converted = PRBPSchedule(
+        dag=schedule.dag,
+        r=schedule.r,
+        moves=prbp_moves,
+        variant=GameVariant(
+            one_shot=schedule.variant.one_shot,
+            allow_delete=schedule.variant.allow_delete,
+            compute_cost=0.0,
+        ),
+        description=f"converted from RBP ({schedule.description or 'unnamed'})",
+    )
+    # Repair the redundant-save corner case described in the docstring: replay
+    # and replace any save that is illegal because the node is BLUE_LIGHT_RED
+    # by an equally priced redundant load.
+    from .prbp import PRBPGame
+    from .pebbles import PRBPState
+
+    game = PRBPGame(converted.dag, converted.r, variant=converted.variant, record_history=False)
+    repaired: List[PRBPMove] = []
+    for mv in converted.moves:
+        if (
+            mv.kind is MoveKind.SAVE
+            and mv.node is not None
+            and game.node_state(mv.node) is PRBPState.BLUE_LIGHT_RED
+        ):
+            mv = PRBPMove(MoveKind.LOAD, node=mv.node)
+        game.apply(mv)
+        repaired.append(mv)
+    converted.moves = repaired
+    return converted

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the pebbling engines.
+
+All errors raised by :mod:`repro` derive from :class:`PebblingError`, so a
+caller that wants to treat any library failure uniformly can catch a single
+type.  The more specific subclasses distinguish the three failure modes that
+matter in practice:
+
+* the *input DAG* is malformed (:class:`DAGError`),
+* a *single move* is illegal in the current game configuration
+  (:class:`IllegalMoveError`), and
+* a whole *schedule* finishes without reaching a valid terminal state
+  (:class:`IncompletePebblingError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PebblingError",
+    "DAGError",
+    "IllegalMoveError",
+    "CapacityExceededError",
+    "IncompletePebblingError",
+    "SolverError",
+    "PartitionError",
+]
+
+
+class PebblingError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class DAGError(PebblingError):
+    """The computational DAG is malformed (cycle, self-loop, bad node id...)."""
+
+
+class IllegalMoveError(PebblingError):
+    """A move violates the transition rules of the game being played.
+
+    The exception message always names the offending rule so that test
+    failures and interactive sessions can be debugged without inspecting the
+    whole game state.
+    """
+
+
+class CapacityExceededError(IllegalMoveError):
+    """A move would exceed the fast-memory capacity ``r``."""
+
+
+class IncompletePebblingError(PebblingError):
+    """A schedule ended without satisfying the terminal condition.
+
+    For RBP the terminal condition is "every sink carries a blue pebble"; for
+    PRBP it additionally requires every edge to be marked.
+    """
+
+
+class SolverError(PebblingError):
+    """An optimal/heuristic solver could not produce a result.
+
+    Typical causes: the instance is too large for the exhaustive solver's
+    configured state budget, or no valid pebbling exists for the given ``r``
+    (e.g. RBP with ``r < max_in_degree + 1``).
+    """
+
+
+class PartitionError(PebblingError):
+    """An S-partition / S-edge-partition object violates its definition."""

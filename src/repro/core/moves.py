@@ -1,0 +1,176 @@
+"""Move (transition-rule) representations for RBP and PRBP schedules.
+
+A *pebbling strategy* (we also say *schedule*) is a finite sequence of moves.
+This module defines one dataclass per game so schedules can be constructed
+programmatically, pretty-printed, serialised and replayed through the
+engines.
+
+RBP moves (Hong & Kung rules, Section 1 of the paper)
+-----------------------------------------------------
+
+======== =========================================================
+kind      meaning
+======== =========================================================
+``load``  place a red pebble on a node holding a blue pebble
+``save``  place a blue pebble on a node holding a red pebble
+``compute`` place a red pebble on a non-source whose inputs are all red
+``delete`` remove a red pebble
+======== =========================================================
+
+PRBP moves (Section 3)
+----------------------
+
+======== =========================================================
+kind      meaning
+======== =========================================================
+``load``  place a light red pebble on a node holding a blue pebble
+``save``  replace a dark red pebble by blue + light red
+``compute`` *partial compute* along a single edge ``(u, v)``: mark the edge
+            and leave a dark red pebble on ``v``
+``delete`` remove a light red pebble, or a dark red pebble whose node has
+            all out-edges marked
+``clear``  (re-computation variant only, Appendix B.1) remove every pebble
+            from a non-source non-sink node and unmark all its in-edges
+======== =========================================================
+
+I/O moves (``load``/``save``) have unit cost; ``compute``/``delete``/``clear``
+are free unless a compute-cost variant is configured on the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+__all__ = ["MoveKind", "RBPMove", "PRBPMove", "rbp", "prbp"]
+
+
+class MoveKind(str, Enum):
+    """The transition-rule applied by a move (shared by both games)."""
+
+    LOAD = "load"
+    SAVE = "save"
+    COMPUTE = "compute"
+    DELETE = "delete"
+    #: Re-computation from scratch (PRBP extension of Appendix B.1 only).
+    CLEAR = "clear"
+
+    @property
+    def is_io(self) -> bool:
+        """True iff the move is a save or a load (the moves that cost I/O)."""
+        return self in (MoveKind.LOAD, MoveKind.SAVE)
+
+
+@dataclass(frozen=True)
+class RBPMove:
+    """A single move in the classic red-blue pebble game.
+
+    ``node`` identifies the target node for every rule.  For the *sliding*
+    variant of the compute rule (Appendix B.2) ``slide_from`` names the input
+    whose red pebble is moved onto ``node``; it must be ``None`` otherwise.
+    """
+
+    kind: MoveKind
+    node: int
+    slide_from: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.slide_from is not None and self.kind is not MoveKind.COMPUTE:
+            raise ValueError("slide_from is only meaningful for compute moves")
+
+    @property
+    def is_io(self) -> bool:
+        """True iff the move costs one I/O operation."""
+        return self.kind.is_io
+
+    def __str__(self) -> str:
+        if self.kind is MoveKind.COMPUTE and self.slide_from is not None:
+            return f"compute {self.node} (slide from {self.slide_from})"
+        return f"{self.kind.value} {self.node}"
+
+
+@dataclass(frozen=True)
+class PRBPMove:
+    """A single move in the partial-computing red-blue pebble game.
+
+    ``load``/``save``/``delete``/``clear`` target a node (``node`` set,
+    ``edge`` ``None``); a partial ``compute`` targets an edge (``edge`` set,
+    ``node`` ``None``).
+    """
+
+    kind: MoveKind
+    node: Optional[int] = None
+    edge: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is MoveKind.COMPUTE:
+            if self.edge is None or self.node is not None:
+                raise ValueError("a partial compute move targets exactly one edge")
+        else:
+            if self.node is None or self.edge is not None:
+                raise ValueError(f"a {self.kind.value} move targets exactly one node")
+
+    @property
+    def is_io(self) -> bool:
+        """True iff the move costs one I/O operation."""
+        return self.kind.is_io
+
+    def __str__(self) -> str:
+        if self.kind is MoveKind.COMPUTE:
+            assert self.edge is not None
+            return f"partial compute ({self.edge[0]}, {self.edge[1]})"
+        return f"{self.kind.value} {self.node}"
+
+
+class rbp:
+    """Terse constructors for :class:`RBPMove` (``rbp.load(3)``, ``rbp.compute(5)``...)."""
+
+    @staticmethod
+    def load(node: int) -> RBPMove:
+        """Rule 2: place a red pebble on a node that has a blue pebble."""
+        return RBPMove(MoveKind.LOAD, node)
+
+    @staticmethod
+    def save(node: int) -> RBPMove:
+        """Rule 1: place a blue pebble on a node that has a red pebble."""
+        return RBPMove(MoveKind.SAVE, node)
+
+    @staticmethod
+    def compute(node: int, slide_from: Optional[int] = None) -> RBPMove:
+        """Rule 3: compute a non-source whose inputs all carry red pebbles."""
+        return RBPMove(MoveKind.COMPUTE, node, slide_from)
+
+    @staticmethod
+    def delete(node: int) -> RBPMove:
+        """Rule 4: remove a red pebble."""
+        return RBPMove(MoveKind.DELETE, node)
+
+
+class prbp:
+    """Terse constructors for :class:`PRBPMove` (``prbp.compute(2, 5)``...)."""
+
+    @staticmethod
+    def load(node: int) -> PRBPMove:
+        """Rule 2: place a light red pebble on a node that has a blue pebble."""
+        return PRBPMove(MoveKind.LOAD, node=node)
+
+    @staticmethod
+    def save(node: int) -> PRBPMove:
+        """Rule 1: replace a dark red pebble by a blue and a light red pebble."""
+        return PRBPMove(MoveKind.SAVE, node=node)
+
+    @staticmethod
+    def compute(u: int, v: int) -> PRBPMove:
+        """Rule 3: partial compute along the edge ``(u, v)``."""
+        return PRBPMove(MoveKind.COMPUTE, edge=(u, v))
+
+    @staticmethod
+    def delete(node: int) -> PRBPMove:
+        """Rule 4: remove a light red pebble, or a finished dark red pebble."""
+        return PRBPMove(MoveKind.DELETE, node=node)
+
+    @staticmethod
+    def clear(node: int) -> PRBPMove:
+        """Rule 5 of the re-computation variant: reset a node for re-computation."""
+        return PRBPMove(MoveKind.CLEAR, node=node)

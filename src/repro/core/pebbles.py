@@ -1,0 +1,73 @@
+"""Pebble state enumerations for RBP and PRBP.
+
+In the classic red-blue pebble game (RBP) a node can independently carry a
+red pebble (value in fast memory) and a blue pebble (value in slow memory),
+so the RBP engine simply keeps two node sets.
+
+The partial-computing game (PRBP, Section 3 of the paper) refines the red
+pebble into *light red* (the value is also up to date in slow memory) and
+*dark red* (the newest value only lives in fast memory).  At any time each
+node is in exactly one of the four states listed in the paper:
+
+* :data:`PRBPState.NONE` — no pebble, the value is stored nowhere;
+* :data:`PRBPState.BLUE` — only a blue pebble, the value is only in slow
+  memory;
+* :data:`PRBPState.BLUE_LIGHT_RED` — a blue and a light red pebble, the
+  current value is in both memories;
+* :data:`PRBPState.DARK_RED` — only a dark red pebble, the value has been
+  updated since the last I/O on the node and exists only in fast memory.
+
+The enum values are small integers so that whole configurations can be
+encoded compactly (e.g. two bits per node) by the exhaustive solver.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["PRBPState", "RED_STATES", "BLUE_STATES"]
+
+
+class PRBPState(IntEnum):
+    """The four possible pebble configurations of a single node in PRBP."""
+
+    #: No pebble at all; the node's value is not stored anywhere.
+    NONE = 0
+    #: Only a blue pebble; the value is only present in slow memory.
+    BLUE = 1
+    #: A blue and a light red pebble; the current value is in both memories.
+    BLUE_LIGHT_RED = 2
+    #: Only a dark red pebble; the newest value is only in fast memory.
+    DARK_RED = 3
+
+    @property
+    def has_red(self) -> bool:
+        """True iff the node occupies a slot of fast memory (light or dark red)."""
+        return self in RED_STATES
+
+    @property
+    def has_blue(self) -> bool:
+        """True iff slow memory holds a (possibly stale, see below) copy.
+
+        For :data:`BLUE` and :data:`BLUE_LIGHT_RED` the slow-memory copy is
+        the node's *current* value; :data:`DARK_RED` means slow memory either
+        has no copy or a stale one, which the game treats identically.
+        """
+        return self in BLUE_STATES
+
+    @property
+    def is_dark_red(self) -> bool:
+        """True iff the newest value exists only in fast memory."""
+        return self is PRBPState.DARK_RED
+
+    @property
+    def is_light_red(self) -> bool:
+        """True iff the node has a light red pebble (and therefore also blue)."""
+        return self is PRBPState.BLUE_LIGHT_RED
+
+
+#: States that consume a unit of fast memory.
+RED_STATES = frozenset({PRBPState.BLUE_LIGHT_RED, PRBPState.DARK_RED})
+
+#: States in which slow memory holds the node's current value.
+BLUE_STATES = frozenset({PRBPState.BLUE, PRBPState.BLUE_LIGHT_RED})

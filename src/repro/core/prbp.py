@@ -1,0 +1,409 @@
+"""Engine for the partial-computing red-blue pebble game (PRBP, Section 3).
+
+PRBP refines RBP in two ways: the red pebble is split into *light red*
+(value also up to date in slow memory) and *dark red* (value only in fast
+memory), and the compute rule becomes a *partial compute* on a single edge
+``(u, v)``, aggregating one more input into the running value of ``v``.  The
+incoming edges of a node that have already been aggregated are *marked*; the
+node's final value is only available once all its in-edges are marked.
+
+Transition rules (numbering follows the paper):
+
+1. **save** — replace a dark red pebble on ``v`` by a blue and a light red
+   pebble (cost 1).
+2. **load** — place a light red pebble on a node with a blue pebble (cost 1).
+3. **partial compute** — for an unmarked edge ``(u, v)``: all in-edges of
+   ``u`` must be marked, ``u`` must carry a (light or dark) red pebble, and
+   ``v`` must carry a red pebble or no pebble at all.  Replace all pebbles on
+   ``v`` by a dark red pebble and mark the edge (free).
+4. **delete** — remove a light red pebble from any node, or a dark red pebble
+   from a node whose out-edges are all marked (free).
+5. **clear** — only in the re-computation variant of Appendix B.1: remove all
+   pebbles from a non-source non-sink node and unmark its in-edges (free).
+
+Initially only the sources carry blue pebbles and all edges are unmarked.
+The pebbling is complete when every sink carries a blue pebble *and* every
+edge is marked.  At any time the number of (light or dark) red pebbles is at
+most ``r``.
+
+A direct consequence of rule 3 (and Proposition 4.1) is that any valid RBP
+schedule translates to a PRBP schedule of the same I/O cost; the converter
+lives in :mod:`repro.core.conversion`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from .dag import ComputationalDAG
+from .exceptions import CapacityExceededError, IllegalMoveError, IncompletePebblingError
+from .moves import MoveKind, PRBPMove
+from .pebbles import PRBPState
+from .variants import ONE_SHOT, GameVariant
+
+__all__ = ["PRBPGame", "run_prbp_schedule", "is_valid_prbp_schedule", "prbp_schedule_cost"]
+
+
+class PRBPGame:
+    """Mutable game state for one partial-computing pebbling of a fixed DAG.
+
+    Parameters mirror :class:`~repro.core.rbp.RBPGame`.  Note that unlike
+    RBP, a valid PRBP pebbling exists for *any* DAG as soon as ``r >= 2``
+    (pebble the nodes in topological order, marking one in-edge at a time).
+    """
+
+    def __init__(
+        self,
+        dag: ComputationalDAG,
+        r: int,
+        variant: GameVariant = ONE_SHOT,
+        record_history: bool = True,
+    ) -> None:
+        if r < 1:
+            raise ValueError(f"fast memory capacity must be >= 1, got {r}")
+        if variant.allow_sliding:
+            raise ValueError(
+                "the sliding variant only applies to RBP; PRBP partial computes are already in-place"
+            )
+        dag.validate_no_isolated()
+        self.dag = dag
+        self.r = int(r)
+        self.variant = variant
+        self.state: List[PRBPState] = [PRBPState.NONE] * dag.n
+        for v in dag.sources:
+            self.state[v] = PRBPState.BLUE
+        #: ``marked[e]`` for the dense edge id ``e`` — True once the edge has
+        #: been aggregated into its head's running value.
+        self.marked: List[bool] = [False] * dag.m
+        #: how many in-edges of each node are currently marked
+        self._marked_in: List[int] = [0] * dag.n
+        #: how many out-edges of each node are currently marked
+        self._marked_out: List[int] = [0] * dag.n
+        #: how many times each edge has ever been computed (one-shot enforcement)
+        self._edge_compute_count: List[int] = [0] * dag.m
+        self._red_count: int = 0
+        self.io_cost: int = 0
+        self.compute_cost_total: float = 0.0
+        self.history: Optional[List[PRBPMove]] = [] if record_history else None
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_cost(self) -> float:
+        """I/O cost plus accumulated compute costs (Appendix B.3 variant)."""
+        return self.io_cost + self.compute_cost_total
+
+    def red_count(self) -> int:
+        """Number of (light or dark) red pebbles currently on the DAG."""
+        return self._red_count
+
+    def node_state(self, v: int) -> PRBPState:
+        """Current pebble state of node ``v``."""
+        return self.state[v]
+
+    def is_marked(self, u: int, v: int) -> bool:
+        """True iff the edge ``(u, v)`` has already been aggregated."""
+        return self.marked[self.dag.edge_id(u, v)]
+
+    def is_fully_computed(self, v: int) -> bool:
+        """True iff all in-edges of ``v`` are marked (sources are always fully computed)."""
+        return self._marked_in[v] == self.dag.in_degree(v)
+
+    def all_out_edges_marked(self, v: int) -> bool:
+        """True iff every out-edge of ``v`` has been aggregated into its head."""
+        return self._marked_out[v] == self.dag.out_degree(v)
+
+    def is_terminal(self) -> bool:
+        """True iff every sink has a blue pebble and every edge is marked."""
+        return all(self.marked) and all(
+            self.state[v].has_blue for v in self.dag.sinks
+        )
+
+    def assert_terminal(self) -> None:
+        """Raise :class:`IncompletePebblingError` unless the game is finished."""
+        unmarked = [self.dag.edges[e] for e in range(self.dag.m) if not self.marked[e]]
+        missing_sinks = [v for v in self.dag.sinks if not self.state[v].has_blue]
+        if unmarked or missing_sinks:
+            raise IncompletePebblingError(
+                "PRBP pebbling incomplete: "
+                f"{len(unmarked)} unmarked edges (first few: {unmarked[:5]}), "
+                f"sinks without a blue pebble: {sorted(missing_sinks)}"
+            )
+
+    def copy(self) -> "PRBPGame":
+        """Deep copy of the current game state (history is copied too)."""
+        clone = PRBPGame(self.dag, self.r, self.variant, record_history=self.history is not None)
+        clone.state = list(self.state)
+        clone.marked = list(self.marked)
+        clone._marked_in = list(self._marked_in)
+        clone._marked_out = list(self._marked_out)
+        clone._edge_compute_count = list(self._edge_compute_count)
+        clone._red_count = self._red_count
+        clone.io_cost = self.io_cost
+        clone.compute_cost_total = self.compute_cost_total
+        if self.history is not None:
+            clone.history = list(self.history)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # move application
+    # ------------------------------------------------------------------ #
+
+    def apply(self, move: PRBPMove) -> None:
+        """Apply one move, raising :class:`IllegalMoveError` if it is illegal."""
+        if move.kind is MoveKind.LOAD:
+            assert move.node is not None
+            self._apply_load(move.node)
+        elif move.kind is MoveKind.SAVE:
+            assert move.node is not None
+            self._apply_save(move.node)
+        elif move.kind is MoveKind.COMPUTE:
+            assert move.edge is not None
+            self._apply_compute(*move.edge)
+        elif move.kind is MoveKind.DELETE:
+            assert move.node is not None
+            self._apply_delete(move.node)
+        elif move.kind is MoveKind.CLEAR:
+            assert move.node is not None
+            self._apply_clear(move.node)
+        else:  # pragma: no cover - MoveKind is exhaustive
+            raise IllegalMoveError(f"move kind {move.kind!r} is not part of PRBP")
+        if self.history is not None:
+            self.history.append(move)
+
+    def apply_all(self, moves: Iterable[PRBPMove]) -> None:
+        """Apply a sequence of moves in order."""
+        for move in moves:
+            self.apply(move)
+
+    def _check_node(self, v: int) -> None:
+        if not (0 <= v < self.dag.n):
+            raise IllegalMoveError(f"node {v} does not exist (n = {self.dag.n})")
+
+    def _check_capacity_for_new_red(self, v: int) -> None:
+        if self._red_count + 1 > self.r:
+            raise CapacityExceededError(
+                f"placing a red pebble on node {v} would use {self._red_count + 1} red pebbles "
+                f"but the capacity is r = {self.r}"
+            )
+
+    def _apply_save(self, v: int) -> None:
+        self._check_node(v)
+        if self.state[v] is not PRBPState.DARK_RED:
+            raise IllegalMoveError(
+                f"cannot save node {v}: the save rule requires a dark red pebble "
+                f"(current state: {self.state[v].name})"
+            )
+        self.state[v] = PRBPState.BLUE_LIGHT_RED
+        self.io_cost += 1
+
+    def _apply_load(self, v: int) -> None:
+        self._check_node(v)
+        if not self.state[v].has_blue:
+            raise IllegalMoveError(
+                f"cannot load node {v}: it has no blue pebble (current state: {self.state[v].name})"
+            )
+        if self.state[v] is PRBPState.BLUE:
+            self._check_capacity_for_new_red(v)
+            self.state[v] = PRBPState.BLUE_LIGHT_RED
+            self._red_count += 1
+        # Loading a node that is already BLUE_LIGHT_RED is legal but useless;
+        # it still costs one I/O operation.
+        self.io_cost += 1
+
+    def _apply_compute(self, u: int, v: int) -> None:
+        self._check_node(u)
+        self._check_node(v)
+        if not self.dag.has_edge(u, v):
+            raise IllegalMoveError(f"cannot partial-compute ({u}, {v}): it is not an edge")
+        eid = self.dag.edge_id(u, v)
+        if self.marked[eid]:
+            raise IllegalMoveError(f"cannot partial-compute ({u}, {v}): the edge is already marked")
+        if self.variant.one_shot and self._edge_compute_count[eid] >= 1:
+            raise IllegalMoveError(
+                f"cannot partial-compute ({u}, {v}) again: the one-shot rule allows a single "
+                "partial compute per edge"
+            )
+        if not self.is_fully_computed(u):
+            raise IllegalMoveError(
+                f"cannot partial-compute ({u}, {v}): node {u} is not fully computed "
+                f"({self._marked_in[u]}/{self.dag.in_degree(u)} in-edges marked)"
+            )
+        if not self.state[u].has_red:
+            raise IllegalMoveError(
+                f"cannot partial-compute ({u}, {v}): node {u} has no red pebble "
+                f"(current state: {self.state[u].name})"
+            )
+        if self.state[v] is PRBPState.BLUE:
+            raise IllegalMoveError(
+                f"cannot partial-compute ({u}, {v}): node {v} holds only a blue pebble; "
+                "its partially computed value must first be loaded into fast memory"
+            )
+        if self.state[v] is PRBPState.NONE:
+            self._check_capacity_for_new_red(v)
+            self._red_count += 1
+        # BLUE_LIGHT_RED or DARK_RED or (previously NONE): all pebbles on v
+        # are replaced by a single dark red pebble.
+        self.state[v] = PRBPState.DARK_RED
+        self.marked[eid] = True
+        self._edge_compute_count[eid] += 1
+        self._marked_in[v] += 1
+        self._marked_out[u] += 1
+        cost = self.variant.compute_cost
+        if cost:
+            if self.variant.split_compute_cost:
+                cost /= self.dag.in_degree(v)
+            self.compute_cost_total += cost
+
+    def _apply_delete(self, v: int) -> None:
+        self._check_node(v)
+        st = self.state[v]
+        if st is PRBPState.BLUE_LIGHT_RED:
+            self.state[v] = PRBPState.BLUE
+            self._red_count -= 1
+            return
+        if st is PRBPState.DARK_RED:
+            if not self.variant.allow_delete:
+                raise IllegalMoveError(
+                    "in the no-deletion variant a dark red pebble can only be removed by saving it"
+                )
+            if not self.all_out_edges_marked(v):
+                raise IllegalMoveError(
+                    f"cannot delete the dark red pebble of node {v}: "
+                    f"{self.dag.out_degree(v) - self._marked_out[v]} of its out-edges are unmarked, "
+                    "so its value is still needed (save it first)"
+                )
+            if not self.is_fully_computed(v):
+                # Deleting an unfinished dark red value would silently discard
+                # the partial aggregation (only possible for sinks, whose
+                # out-edge condition is vacuous); the paper's rule requires a
+                # save before removing an unfinished value from fast memory.
+                raise IllegalMoveError(
+                    f"cannot delete the dark red pebble of node {v}: its computation is "
+                    f"unfinished ({self._marked_in[v]}/{self.dag.in_degree(v)} in-edges marked); "
+                    "save the partial value first"
+                )
+            self.state[v] = PRBPState.NONE
+            self._red_count -= 1
+            return
+        raise IllegalMoveError(
+            f"cannot delete a red pebble from node {v}: it has none (current state: {st.name})"
+        )
+
+    def _apply_clear(self, v: int) -> None:
+        self._check_node(v)
+        if self.variant.one_shot:
+            raise IllegalMoveError(
+                "clear moves are only allowed in the re-computation variant (one_shot=False)"
+            )
+        if self.dag.is_source(v) or self.dag.is_sink(v):
+            raise IllegalMoveError(
+                f"cannot clear node {v}: the clear rule only applies to internal nodes"
+            )
+        if self.state[v].has_red:
+            self._red_count -= 1
+        self.state[v] = PRBPState.NONE
+        for u in self.dag.predecessors(v):
+            eid = self.dag.edge_id(u, v)
+            if self.marked[eid]:
+                self.marked[eid] = False
+                self._marked_in[v] -= 1
+                self._marked_out[u] -= 1
+
+    # ------------------------------------------------------------------ #
+    # legal move enumeration
+    # ------------------------------------------------------------------ #
+
+    def legal_moves(self, include_useless: bool = False) -> List[PRBPMove]:
+        """Enumerate the moves that are legal in the current configuration.
+
+        With ``include_useless=False`` (default) moves that cannot be part of
+        any cost-minimal continuation are skipped: loading a node that is
+        already in fast memory and re-saving a node whose value is already in
+        slow memory cost I/O without changing the reachable configurations.
+        """
+        moves: List[PRBPMove] = []
+        capacity_left = self.r - self._red_count
+        for v in self.dag.nodes():
+            st = self.state[v]
+            if st is PRBPState.DARK_RED:
+                moves.append(PRBPMove(MoveKind.SAVE, node=v))
+                if (
+                    self.variant.allow_delete
+                    and self.all_out_edges_marked(v)
+                    and self.is_fully_computed(v)
+                ):
+                    moves.append(PRBPMove(MoveKind.DELETE, node=v))
+            elif st is PRBPState.BLUE:
+                if capacity_left > 0:
+                    moves.append(PRBPMove(MoveKind.LOAD, node=v))
+            elif st is PRBPState.BLUE_LIGHT_RED:
+                moves.append(PRBPMove(MoveKind.DELETE, node=v))
+                if include_useless:
+                    moves.append(PRBPMove(MoveKind.LOAD, node=v))
+            if (
+                not self.variant.one_shot
+                and not self.dag.is_source(v)
+                and not self.dag.is_sink(v)
+                and (st is not PRBPState.NONE or self._marked_in[v] > 0)
+            ):
+                moves.append(PRBPMove(MoveKind.CLEAR, node=v))
+        for eid, (u, v) in enumerate(self.dag.edges):
+            if self.marked[eid]:
+                continue
+            if self.variant.one_shot and self._edge_compute_count[eid] >= 1:
+                continue
+            if not self.is_fully_computed(u) or not self.state[u].has_red:
+                continue
+            if self.state[v] is PRBPState.BLUE:
+                continue
+            if self.state[v] is PRBPState.NONE and capacity_left <= 0:
+                continue
+            moves.append(PRBPMove(MoveKind.COMPUTE, edge=(u, v)))
+        return moves
+
+
+def run_prbp_schedule(
+    dag: ComputationalDAG,
+    r: int,
+    moves: Sequence[PRBPMove],
+    variant: GameVariant = ONE_SHOT,
+    require_terminal: bool = True,
+) -> PRBPGame:
+    """Replay a schedule from the initial configuration and return the game.
+
+    Raises :class:`IllegalMoveError` at the first illegal move and, when
+    ``require_terminal`` is True, :class:`IncompletePebblingError` if the
+    final configuration is not terminal (unmarked edges or unsaved sinks).
+    """
+    game = PRBPGame(dag, r, variant=variant)
+    game.apply_all(moves)
+    if require_terminal:
+        game.assert_terminal()
+    return game
+
+
+def is_valid_prbp_schedule(
+    dag: ComputationalDAG,
+    r: int,
+    moves: Sequence[PRBPMove],
+    variant: GameVariant = ONE_SHOT,
+) -> bool:
+    """True iff ``moves`` is a legal, complete PRBP pebbling of ``dag`` with capacity ``r``."""
+    try:
+        run_prbp_schedule(dag, r, moves, variant=variant)
+    except (IllegalMoveError, IncompletePebblingError):
+        return False
+    return True
+
+
+def prbp_schedule_cost(
+    dag: ComputationalDAG,
+    r: int,
+    moves: Sequence[PRBPMove],
+    variant: GameVariant = ONE_SHOT,
+) -> int:
+    """Replay a schedule and return its I/O cost (raises if the schedule is invalid)."""
+    return run_prbp_schedule(dag, r, moves, variant=variant).io_cost

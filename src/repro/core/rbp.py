@@ -1,0 +1,294 @@
+"""Engine for the classic red-blue pebble game (RBP) of Hong and Kung.
+
+The engine is a small state machine: construct an :class:`RBPGame` from a
+:class:`~repro.core.dag.ComputationalDAG` and a fast-memory capacity ``r``,
+then :meth:`~RBPGame.apply` moves one by one (or replay a whole schedule with
+:func:`run_rbp_schedule`).  Every rule of the game — including the variants
+of Appendix B — is enforced eagerly, so an illegal schedule fails at the
+first offending move with a message naming the violated rule.
+
+State
+-----
+* ``red`` — set of nodes currently holding a red pebble (fast memory),
+* ``blue`` — set of nodes currently holding a blue pebble (slow memory),
+* ``computed`` — set of non-source nodes whose compute rule has fired at
+  least once (used to enforce the one-shot restriction).
+
+Initially only the source nodes carry blue pebbles.  The pebbling is complete
+when every sink carries a blue pebble.
+
+Costs
+-----
+``load`` and ``save`` cost 1 each; ``compute`` costs ``variant.compute_cost``
+(0 by default); ``delete`` is always free.  :attr:`RBPGame.io_cost` counts
+only the I/O moves — this is the quantity called *cost* in the paper — while
+:attr:`RBPGame.total_cost` additionally includes compute costs for the
+Appendix B.3 variant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set
+
+from .dag import ComputationalDAG
+from .exceptions import CapacityExceededError, IllegalMoveError, IncompletePebblingError
+from .moves import MoveKind, RBPMove
+from .variants import ONE_SHOT, GameVariant
+
+__all__ = ["RBPGame", "run_rbp_schedule", "is_valid_rbp_schedule", "rbp_schedule_cost"]
+
+
+class RBPGame:
+    """Mutable game state for one red-blue pebbling of a fixed DAG.
+
+    Parameters
+    ----------
+    dag:
+        The computational DAG to pebble.
+    r:
+        Fast memory capacity (maximum number of red pebbles on the DAG at
+        any time).  Must be at least 1.
+    variant:
+        Rule toggles; defaults to the one-shot game analysed in the paper.
+    record_history:
+        If True (default) every applied move is appended to
+        :attr:`history`, so a successfully finished game doubles as a
+        certified schedule.
+    """
+
+    def __init__(
+        self,
+        dag: ComputationalDAG,
+        r: int,
+        variant: GameVariant = ONE_SHOT,
+        record_history: bool = True,
+    ) -> None:
+        if r < 1:
+            raise ValueError(f"fast memory capacity must be >= 1, got {r}")
+        dag.validate_no_isolated()
+        self.dag = dag
+        self.r = int(r)
+        self.variant = variant
+        self.red: Set[int] = set()
+        self.blue: Set[int] = set(dag.sources)
+        self.computed: Set[int] = set()
+        self.io_cost: int = 0
+        self.compute_cost_total: float = 0.0
+        self.history: Optional[List[RBPMove]] = [] if record_history else None
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_cost(self) -> float:
+        """I/O cost plus accumulated compute costs (Appendix B.3 variant)."""
+        return self.io_cost + self.compute_cost_total
+
+    def red_count(self) -> int:
+        """Number of red pebbles currently on the DAG."""
+        return len(self.red)
+
+    def is_terminal(self) -> bool:
+        """True iff every sink node carries a blue pebble."""
+        return all(v in self.blue for v in self.dag.sinks)
+
+    def assert_terminal(self) -> None:
+        """Raise :class:`IncompletePebblingError` unless the game is finished."""
+        missing = [v for v in self.dag.sinks if v not in self.blue]
+        if missing:
+            raise IncompletePebblingError(
+                f"RBP pebbling incomplete: sinks without a blue pebble: {sorted(missing)}"
+            )
+
+    def copy(self) -> "RBPGame":
+        """Deep copy of the current game state (history is copied too)."""
+        clone = RBPGame(self.dag, self.r, self.variant, record_history=self.history is not None)
+        clone.red = set(self.red)
+        clone.blue = set(self.blue)
+        clone.computed = set(self.computed)
+        clone.io_cost = self.io_cost
+        clone.compute_cost_total = self.compute_cost_total
+        if self.history is not None:
+            clone.history = list(self.history)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # move application
+    # ------------------------------------------------------------------ #
+
+    def apply(self, move: RBPMove) -> None:
+        """Apply one move, raising :class:`IllegalMoveError` if it is illegal."""
+        if move.kind is MoveKind.LOAD:
+            self._apply_load(move.node)
+        elif move.kind is MoveKind.SAVE:
+            self._apply_save(move.node)
+        elif move.kind is MoveKind.COMPUTE:
+            self._apply_compute(move.node, move.slide_from)
+        elif move.kind is MoveKind.DELETE:
+            self._apply_delete(move.node)
+        else:
+            raise IllegalMoveError(f"move kind {move.kind!r} is not part of RBP")
+        if self.history is not None:
+            self.history.append(move)
+
+    def apply_all(self, moves: Iterable[RBPMove]) -> None:
+        """Apply a sequence of moves in order."""
+        for move in moves:
+            self.apply(move)
+
+    def _check_node(self, v: int) -> None:
+        if not (0 <= v < self.dag.n):
+            raise IllegalMoveError(f"node {v} does not exist (n = {self.dag.n})")
+
+    def _check_capacity_for_new_red(self, v: int) -> None:
+        if len(self.red) + 1 > self.r:
+            raise CapacityExceededError(
+                f"placing a red pebble on node {v} would use {len(self.red) + 1} red pebbles "
+                f"but the capacity is r = {self.r}"
+            )
+
+    def _apply_load(self, v: int) -> None:
+        self._check_node(v)
+        if v not in self.blue:
+            raise IllegalMoveError(f"cannot load node {v}: it has no blue pebble")
+        if v not in self.red:
+            self._check_capacity_for_new_red(v)
+            self.red.add(v)
+        self.io_cost += 1
+
+    def _apply_save(self, v: int) -> None:
+        self._check_node(v)
+        if v not in self.red:
+            raise IllegalMoveError(f"cannot save node {v}: it has no red pebble")
+        self.blue.add(v)
+        if not self.variant.allow_delete:
+            # In the no-deletion variant (Appendix B.4) saving replaces the
+            # red pebble by the blue one instead of duplicating the value.
+            self.red.discard(v)
+        self.io_cost += 1
+
+    def _apply_compute(self, v: int, slide_from: Optional[int]) -> None:
+        self._check_node(v)
+        if self.dag.is_source(v):
+            raise IllegalMoveError(f"cannot compute node {v}: it is a source node")
+        if self.variant.one_shot and v in self.computed:
+            raise IllegalMoveError(
+                f"cannot compute node {v} again: the one-shot rule allows a single compute per node"
+            )
+        missing = [u for u in self.dag.predecessors(v) if u not in self.red]
+        if missing:
+            raise IllegalMoveError(
+                f"cannot compute node {v}: inputs without a red pebble: {sorted(missing)}"
+            )
+        if slide_from is not None:
+            if not self.variant.allow_sliding:
+                raise IllegalMoveError(
+                    "sliding compute moves require a variant with allow_sliding=True"
+                )
+            if slide_from not in self.dag.predecessors(v):
+                raise IllegalMoveError(
+                    f"cannot slide from node {slide_from}: it is not an input of node {v}"
+                )
+            # The red pebble moves from the input to v; the red count cannot grow.
+            self.red.discard(slide_from)
+            self.red.add(v)
+        else:
+            if v not in self.red:
+                self._check_capacity_for_new_red(v)
+                self.red.add(v)
+        self.computed.add(v)
+        self.compute_cost_total += self.variant.compute_cost
+
+    def _apply_delete(self, v: int) -> None:
+        self._check_node(v)
+        if not self.variant.allow_delete:
+            raise IllegalMoveError(
+                "delete moves are forbidden in the no-deletion variant (Appendix B.4)"
+            )
+        if v not in self.red:
+            raise IllegalMoveError(f"cannot delete the red pebble of node {v}: it has none")
+        self.red.remove(v)
+
+    # ------------------------------------------------------------------ #
+    # legal move enumeration (used by tests and by the greedy solvers)
+    # ------------------------------------------------------------------ #
+
+    def legal_moves(self, include_useless: bool = False) -> List[RBPMove]:
+        """Enumerate the moves that are legal in the current configuration.
+
+        With ``include_useless=False`` (default) obviously wasteful moves are
+        skipped: loading a node that is already red, saving a node that is
+        already blue, and re-computing an already computed node in the
+        re-computation variant.  The filtered list still contains every move
+        an optimal strategy could need.
+        """
+        moves: List[RBPMove] = []
+        capacity_left = self.r - len(self.red)
+        for v in self.blue:
+            if include_useless or v not in self.red:
+                if v in self.red or capacity_left > 0:
+                    moves.append(RBPMove(MoveKind.LOAD, v))
+        for v in self.red:
+            if include_useless or v not in self.blue:
+                moves.append(RBPMove(MoveKind.SAVE, v))
+            if self.variant.allow_delete:
+                moves.append(RBPMove(MoveKind.DELETE, v))
+        for v in self.dag.nodes():
+            if self.dag.is_source(v):
+                continue
+            if self.variant.one_shot and v in self.computed:
+                continue
+            if not include_useless and v in self.computed and v in self.red:
+                continue
+            if all(u in self.red for u in self.dag.predecessors(v)):
+                if v in self.red or capacity_left > 0:
+                    moves.append(RBPMove(MoveKind.COMPUTE, v))
+                if self.variant.allow_sliding:
+                    for u in self.dag.predecessors(v):
+                        moves.append(RBPMove(MoveKind.COMPUTE, v, slide_from=u))
+        return moves
+
+
+def run_rbp_schedule(
+    dag: ComputationalDAG,
+    r: int,
+    moves: Sequence[RBPMove],
+    variant: GameVariant = ONE_SHOT,
+    require_terminal: bool = True,
+) -> RBPGame:
+    """Replay a schedule from the initial configuration and return the game.
+
+    Raises :class:`IllegalMoveError` at the first illegal move and, when
+    ``require_terminal`` is True, :class:`IncompletePebblingError` if the
+    final configuration leaves some sink without a blue pebble.
+    """
+    game = RBPGame(dag, r, variant=variant)
+    game.apply_all(moves)
+    if require_terminal:
+        game.assert_terminal()
+    return game
+
+
+def is_valid_rbp_schedule(
+    dag: ComputationalDAG,
+    r: int,
+    moves: Sequence[RBPMove],
+    variant: GameVariant = ONE_SHOT,
+) -> bool:
+    """True iff ``moves`` is a legal, complete RBP pebbling of ``dag`` with capacity ``r``."""
+    try:
+        run_rbp_schedule(dag, r, moves, variant=variant)
+    except (IllegalMoveError, IncompletePebblingError):
+        return False
+    return True
+
+
+def rbp_schedule_cost(
+    dag: ComputationalDAG,
+    r: int,
+    moves: Sequence[RBPMove],
+    variant: GameVariant = ONE_SHOT,
+) -> int:
+    """Replay a schedule and return its I/O cost (raises if the schedule is invalid)."""
+    return run_rbp_schedule(dag, r, moves, variant=variant).io_cost

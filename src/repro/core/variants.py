@@ -1,0 +1,95 @@
+"""Model-variant configuration for the RBP and PRBP engines.
+
+Section 8.1 and Appendix B of the paper discuss several variants of the
+red-blue pebble game that appear in the literature.  Rather than one engine
+class per variant, both engines accept a :class:`GameVariant` value object
+that toggles the individual rule changes:
+
+* **one-shot** (default ``True``) — each node (RBP) / edge (PRBP) may be
+  computed at most once.  This is the variant the paper analyses.
+* **re-computation** — dropping the one-shot restriction.  In RBP a node may
+  simply be computed again; in PRBP a node must first be *cleared*
+  (Appendix B.1's rule 5: remove its pebbles and unmark its in-edges) before
+  its inputs can be aggregated again.
+* **sliding pebbles** (RBP only, Appendix B.2) — the compute rule may move a
+  red pebble from one of the inputs onto the computed node instead of
+  requiring a free slot.
+* **compute costs** (Appendix B.3) — each compute / partial-compute step
+  costs ``compute_cost`` (the paper's ε) in addition to the unit cost of I/O
+  moves.  For PRBP, ``split_compute_cost=True`` charges ``ε / deg_in(v)`` per
+  partial compute on an in-edge of ``v`` so that the total compute cost of a
+  one-shot schedule matches the RBP total of ``ε · n``.
+* **no deletion** (Appendix B.4) — red pebbles may never be removed by a
+  delete move; in PRBP a dark red pebble may only disappear via a save.
+
+The combinations are orthogonal except where noted in the engine docstrings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GameVariant", "ONE_SHOT", "RECOMPUTE", "SLIDING", "NO_DELETE"]
+
+
+@dataclass(frozen=True)
+class GameVariant:
+    """Immutable bundle of rule toggles understood by both engines.
+
+    Attributes
+    ----------
+    one_shot:
+        If True (default), each node (RBP) / edge (PRBP) may be computed at
+        most once.
+    allow_sliding:
+        RBP only: enable the sliding compute rule of Appendix B.2.
+    allow_delete:
+        If False, red pebbles can never be deleted (Appendix B.4).
+    compute_cost:
+        Cost ε charged per compute step (RBP) or per partial compute step
+        (PRBP, but see ``split_compute_cost``).  The default 0.0 reproduces
+        the standard game where compute steps are free.
+    split_compute_cost:
+        PRBP only: charge ``ε / deg_in(v)`` per partial compute instead of a
+        flat ε, so that fully computing a node costs ε in total.
+    """
+
+    one_shot: bool = True
+    allow_sliding: bool = False
+    allow_delete: bool = True
+    compute_cost: float = 0.0
+    split_compute_cost: bool = False
+
+    def __post_init__(self) -> None:
+        if self.compute_cost < 0:
+            raise ValueError("compute_cost must be non-negative")
+
+    @property
+    def allow_recompute(self) -> bool:
+        """Convenience alias: re-computation is allowed iff the game is not one-shot."""
+        return not self.one_shot
+
+    def describe(self) -> str:
+        """One-line human readable description used by reports."""
+        parts = ["one-shot" if self.one_shot else "re-computation"]
+        if self.allow_sliding:
+            parts.append("sliding")
+        if not self.allow_delete:
+            parts.append("no-deletion")
+        if self.compute_cost > 0:
+            kind = "split" if self.split_compute_cost else "flat"
+            parts.append(f"compute-cost={self.compute_cost} ({kind})")
+        return ", ".join(parts)
+
+
+#: The default variant analysed throughout the paper.
+ONE_SHOT = GameVariant()
+
+#: RBP / PRBP with re-computation allowed (Appendix B.1).
+RECOMPUTE = GameVariant(one_shot=False)
+
+#: RBP with the sliding compute rule (Appendix B.2).
+SLIDING = GameVariant(allow_sliding=True)
+
+#: The no-deletion variant (Appendix B.4).
+NO_DELETE = GameVariant(allow_delete=False)

@@ -1,0 +1,86 @@
+"""Generators for every computational DAG family used in the paper.
+
+Each family offers two entry points: ``*_dag(...)`` returns a plain
+:class:`~repro.core.dag.ComputationalDAG`, while ``*_instance(...)`` returns
+a layout object that additionally names the individual nodes (used by the
+structured strategy generators and by tests).
+"""
+
+from .attention import AttentionInstance, attention_dag, attention_instance
+from .fanin import FanInGroupsInstance, fanin_groups_dag, fanin_groups_instance
+from .fft import FFTInstance, fft_dag, fft_instance
+from .gadgets import (
+    ChainedGadgetInstance,
+    Figure1Instance,
+    PebbleCollectionInstance,
+    ZipperInstance,
+    chained_gadget_dag,
+    chained_gadget_instance,
+    figure1_gadget,
+    figure1_instance,
+    pebble_collection_gadget,
+    pebble_collection_instance,
+    zipper_gadget,
+    zipper_instance,
+)
+from .linalg import (
+    MatMulInstance,
+    MatVecInstance,
+    matmul_dag,
+    matmul_instance,
+    matvec_dag,
+    matvec_instance,
+)
+from .pyramid import PyramidInstance, pyramid_dag, pyramid_instance
+from .random_dags import random_dag, random_layered_dag
+from .trees import (
+    TreeInstance,
+    binary_tree_dag,
+    binary_tree_instance,
+    kary_tree_dag,
+    kary_tree_instance,
+    optimal_prbp_tree_cost,
+    optimal_rbp_tree_cost,
+)
+
+__all__ = [
+    "AttentionInstance",
+    "attention_dag",
+    "attention_instance",
+    "FanInGroupsInstance",
+    "fanin_groups_dag",
+    "fanin_groups_instance",
+    "FFTInstance",
+    "fft_dag",
+    "fft_instance",
+    "ChainedGadgetInstance",
+    "Figure1Instance",
+    "PebbleCollectionInstance",
+    "ZipperInstance",
+    "chained_gadget_dag",
+    "chained_gadget_instance",
+    "figure1_gadget",
+    "figure1_instance",
+    "pebble_collection_gadget",
+    "pebble_collection_instance",
+    "zipper_gadget",
+    "zipper_instance",
+    "MatMulInstance",
+    "MatVecInstance",
+    "matmul_dag",
+    "matmul_instance",
+    "matvec_dag",
+    "matvec_instance",
+    "PyramidInstance",
+    "pyramid_dag",
+    "pyramid_instance",
+    "random_dag",
+    "random_layered_dag",
+    "TreeInstance",
+    "binary_tree_dag",
+    "binary_tree_instance",
+    "kary_tree_dag",
+    "kary_tree_instance",
+    "optimal_prbp_tree_cost",
+    "optimal_rbp_tree_cost",
+]

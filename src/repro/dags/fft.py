@@ -1,0 +1,79 @@
+"""The m-point FFT (butterfly) DAG of Theorem 6.9.
+
+The ``m``-point FFT graph (``m`` a power of two) has ``log2(m) + 1`` levels
+of ``m`` nodes each.  Level 0 holds the sources; the node ``j`` of level
+``t`` has exactly two in-neighbours on level ``t - 1``: node ``j`` itself and
+node ``j XOR 2**(t-1)`` (the classic butterfly wiring, which is isomorphic to
+the recursive description in the paper: two half-size FFTs whose outputs
+``u_i`` feed the new layer's ``v_j`` whenever ``i ≡ j (mod m/2)``).
+
+Hong and Kung's lower bound ``Ω(m·log m / log r)`` holds for this DAG in RBP,
+and Theorem 6.9 shows the identical bound for PRBP via S-dominator
+partitions; see :mod:`repro.bounds.analytic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.dag import ComputationalDAG, Edge
+
+__all__ = ["FFTInstance", "fft_instance", "fft_dag"]
+
+
+@dataclass(frozen=True)
+class FFTInstance:
+    """Layout of the ``m``-point butterfly DAG.
+
+    ``node(t, j)`` is the ``j``-th node of level ``t`` (level 0 = sources,
+    level ``log2(m)`` = sinks).
+    """
+
+    dag: ComputationalDAG
+    m: int
+    levels: int  # number of butterfly levels = log2(m)
+
+    def node(self, t: int, j: int) -> int:
+        """Node id of level ``t`` (0-based from the sources), position ``j``."""
+        return t * self.m + j
+
+    @property
+    def source_level(self) -> Tuple[int, ...]:
+        """Node ids of the input level."""
+        return tuple(self.node(0, j) for j in range(self.m))
+
+    @property
+    def sink_level(self) -> Tuple[int, ...]:
+        """Node ids of the output level."""
+        return tuple(self.node(self.levels, j) for j in range(self.m))
+
+
+def _is_power_of_two(m: int) -> bool:
+    return m >= 1 and (m & (m - 1)) == 0
+
+
+def fft_instance(m: int) -> FFTInstance:
+    """Build the ``m``-point FFT DAG (``m`` must be a power of two, ``m >= 2``)."""
+    if not _is_power_of_two(m) or m < 2:
+        raise ValueError(f"m must be a power of two >= 2, got {m}")
+    levels = m.bit_length() - 1  # log2(m)
+    labels: Dict[int, str] = {}
+    edges: List[Edge] = []
+    inst = FFTInstance(dag=None, m=m, levels=levels)  # type: ignore[arg-type]
+    for t in range(levels + 1):
+        for j in range(m):
+            labels[inst.node(t, j)] = f"f{t},{j}"
+    for t in range(1, levels + 1):
+        stride = 1 << (t - 1)
+        for j in range(m):
+            v = inst.node(t, j)
+            edges.append((inst.node(t - 1, j), v))
+            edges.append((inst.node(t - 1, j ^ stride), v))
+    dag = ComputationalDAG(m * (levels + 1), edges, labels=labels, name=f"fft-{m}")
+    return FFTInstance(dag=dag, m=m, levels=levels)
+
+
+def fft_dag(m: int) -> ComputationalDAG:
+    """The ``m``-point FFT (butterfly) DAG."""
+    return fft_instance(m).dag

@@ -1,0 +1,153 @@
+"""Random DAG generators used by the test suite and the machinery benchmarks.
+
+Two generators are provided:
+
+* :func:`random_layered_dag` — nodes are arranged in layers; each non-source
+  node draws at least one in-edge from the previous layer (so the DAG never
+  has isolated nodes) plus extra edges with a configurable probability.
+  Layered DAGs resemble the structured computations the paper studies and
+  keep the maximum in-degree under control.
+* :func:`random_dag` — a generic Erdős–Rényi-style DAG over a random
+  topological order, useful for fuzzing the engines and the partition
+  extractors with unstructured inputs.
+
+Both generators are deterministic given the ``seed`` argument (they use a
+private :class:`numpy.random.Generator`), so failing property-based tests
+can always be replayed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.dag import ComputationalDAG, Edge
+
+__all__ = ["random_layered_dag", "random_dag"]
+
+
+def random_layered_dag(
+    layer_sizes: Sequence[int],
+    edge_probability: float = 0.3,
+    max_in_degree: Optional[int] = None,
+    seed: int = 0,
+) -> ComputationalDAG:
+    """Build a random layered DAG.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Number of nodes in each layer, sources first.  Must contain at least
+        two layers of at least one node each.
+    edge_probability:
+        Probability of each possible extra edge from layer ``i`` to layer
+        ``i + 1`` (every node already receives one guaranteed in-edge).
+    max_in_degree:
+        Optional cap on the in-degree of every node.
+    seed:
+        Seed of the private random generator.
+    """
+    if len(layer_sizes) < 2:
+        raise ValueError("need at least two layers")
+    if any(s < 1 for s in layer_sizes):
+        raise ValueError("every layer must contain at least one node")
+    if not (0.0 <= edge_probability <= 1.0):
+        raise ValueError(f"edge_probability must be in [0, 1], got {edge_probability}")
+    rng = np.random.default_rng(seed)
+    layers: List[List[int]] = []
+    next_id = 0
+    for size in layer_sizes:
+        layers.append(list(range(next_id, next_id + size)))
+        next_id += size
+    cap = max_in_degree if max_in_degree is not None else float("inf")
+    if cap < 1:
+        raise ValueError("max_in_degree must be at least 1")
+    edge_set = set()
+    in_deg = {v: 0 for layer in layers for v in layer}
+    out_deg = {v: 0 for layer in layers for v in layer}
+
+    def add(u: int, v: int) -> None:
+        edge_set.add((u, v))
+        in_deg[v] += 1
+        out_deg[u] += 1
+
+    for li in range(1, len(layers)):
+        prev, cur = layers[li - 1], layers[li]
+        for v in cur:
+            add(int(rng.choice(prev)), v)
+        for u in prev:
+            for v in cur:
+                if (u, v) in edge_set or in_deg[v] >= cap:
+                    continue
+                if rng.random() < edge_probability:
+                    add(u, v)
+    # ensure every node of a non-final layer has at least one out-edge; prefer
+    # heads that still have spare in-degree, otherwise rewire one of the
+    # head's surplus in-edges so the cap is preserved
+    for li in range(len(layers) - 1):
+        nxt = layers[li + 1]
+        for u in layers[li]:
+            if out_deg[u] > 0:
+                continue
+            candidates = [v for v in nxt if (u, v) not in edge_set]
+            under_cap = [v for v in candidates if in_deg[v] < cap]
+            if under_cap:
+                add(u, int(rng.choice(under_cap)))
+                continue
+            rewired = False
+            for v in candidates:
+                surplus = [
+                    (u2, v)
+                    for (u2, vv) in edge_set
+                    if vv == v and u2 != u and out_deg[u2] >= 2
+                ]
+                if surplus:
+                    u2, _ = surplus[0]
+                    edge_set.remove((u2, v))
+                    in_deg[v] -= 1
+                    out_deg[u2] -= 1
+                    add(u, v)
+                    rewired = True
+                    break
+            if not rewired and candidates:
+                # degenerate corner: accept exceeding the cap rather than an isolated node
+                add(u, candidates[0])
+    edges: List[Edge] = sorted(edge_set)
+    dag = ComputationalDAG(
+        next_id, edges, name=f"random-layered-{'x'.join(map(str, layer_sizes))}-s{seed}"
+    )
+    dag.validate_no_isolated()
+    return dag
+
+
+def random_dag(n: int, edge_probability: float = 0.2, seed: int = 0) -> ComputationalDAG:
+    """Build a random DAG on ``n`` nodes over a random topological order.
+
+    Every non-first node receives at least one in-edge from an earlier node
+    so the DAG has no isolated nodes; additional forward edges are added
+    independently with probability ``edge_probability``.
+    """
+    if n < 2:
+        raise ValueError(f"need at least two nodes, got {n}")
+    if not (0.0 <= edge_probability <= 1.0):
+        raise ValueError(f"edge_probability must be in [0, 1], got {edge_probability}")
+    rng = np.random.default_rng(seed)
+    order = list(rng.permutation(n))
+    edges: List[Edge] = []
+    edge_set = set()
+    for pos in range(1, n):
+        v = order[pos]
+        u = order[int(rng.integers(0, pos))]
+        edges.append((u, v))
+        edge_set.add((u, v))
+        for upos in range(pos):
+            u2 = order[upos]
+            if (u2, v) in edge_set:
+                continue
+            if rng.random() < edge_probability:
+                edges.append((u2, v))
+                edge_set.add((u2, v))
+    dag = ComputationalDAG(n, edges, name=f"random-n{n}-s{seed}")
+    dag.validate_no_isolated()
+    return dag

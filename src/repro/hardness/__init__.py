@@ -1,0 +1,49 @@
+"""NP-hardness machinery: independent-set problems and the paper's reduction constructions."""
+
+from .independent_set import (
+    UndirectedGraph,
+    clique_number,
+    independence_number,
+    max_clique_via_vertex_oracle,
+    maxclique_vertex,
+    maximum_clique,
+    maximum_independent_set,
+    maxinset_vertex,
+)
+from .levels import (
+    AdaptedTower,
+    CrossEdge,
+    LevelRef,
+    TowerSpec,
+    TowersInstance,
+    build_towers_dag,
+    demo_theorem71_instance,
+    insert_auxiliary_levels,
+)
+from .reduction_thm48 import (
+    Theorem48Instance,
+    Theorem48Parameters,
+    build_theorem48_instance,
+)
+
+__all__ = [
+    "UndirectedGraph",
+    "clique_number",
+    "independence_number",
+    "max_clique_via_vertex_oracle",
+    "maxclique_vertex",
+    "maximum_clique",
+    "maximum_independent_set",
+    "maxinset_vertex",
+    "AdaptedTower",
+    "CrossEdge",
+    "LevelRef",
+    "TowerSpec",
+    "TowersInstance",
+    "build_towers_dag",
+    "demo_theorem71_instance",
+    "insert_auxiliary_levels",
+    "Theorem48Instance",
+    "Theorem48Parameters",
+    "build_theorem48_instance",
+]

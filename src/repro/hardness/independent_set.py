@@ -1,0 +1,215 @@
+"""Maximum independent set / clique machinery for the NP-hardness reductions.
+
+Theorem 4.8 reduces from the ``maxinset-vertex`` problem (Definition 4.9):
+*given an undirected graph and a node ``v0``, is ``v0`` contained in some
+maximum independent set?*  Lemma 4.10 / A.1 shows NP-hardness via the
+equivalent ``maxclique-vertex`` problem on the complement graph.
+
+This module provides:
+
+* a small immutable :class:`UndirectedGraph` value type,
+* exact (branch-and-bound) maximum independent set / clique solvers for the
+  small instances used in tests and benchmarks,
+* the decision procedures :func:`maxinset_vertex` and
+  :func:`maxclique_vertex`,
+* :func:`max_clique_via_vertex_oracle` — the self-reduction of Lemma A.1
+  showing that a polynomial ``maxclique-vertex`` oracle yields a maximum
+  clique; instantiated with the brute-force oracle it doubles as an
+  executable proof check of the lemma on small graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "UndirectedGraph",
+    "maximum_independent_set",
+    "independence_number",
+    "maximum_clique",
+    "clique_number",
+    "maxinset_vertex",
+    "maxclique_vertex",
+    "max_clique_via_vertex_oracle",
+]
+
+
+@dataclass(frozen=True)
+class UndirectedGraph:
+    """A simple undirected graph on nodes ``0 .. n-1`` with a frozen edge set."""
+
+    n: int
+    edges: FrozenSet[Tuple[int, int]]
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[Tuple[int, int]]) -> "UndirectedGraph":
+        """Normalise the edge list (ordered pairs, no self-loops, no duplicates)."""
+        norm = set()
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop on node {u} is not allowed")
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge ({u}, {v}) references a node outside 0..{n - 1}")
+            norm.add((min(u, v), max(u, v)))
+        return cls(n=n, edges=frozenset(norm))
+
+    @classmethod
+    def from_networkx(cls, graph) -> "UndirectedGraph":
+        """Build from a ``networkx.Graph`` whose nodes are ``0 .. n-1``."""
+        return cls.from_edges(graph.number_of_nodes(), graph.edges())
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff ``{u, v}`` is an edge."""
+        return (min(u, v), max(u, v)) in self.edges
+
+    def neighbors(self, v: int) -> FrozenSet[int]:
+        """The neighbourhood of ``v``."""
+        return frozenset(
+            (b if a == v else a) for a, b in self.edges if a == v or b == v
+        )
+
+    def degree(self, v: int) -> int:
+        """Number of neighbours of ``v``."""
+        return len(self.neighbors(v))
+
+    def complement(self) -> "UndirectedGraph":
+        """The complement graph (independent sets become cliques and vice versa)."""
+        comp = [
+            (u, v)
+            for u in range(self.n)
+            for v in range(u + 1, self.n)
+            if (u, v) not in self.edges
+        ]
+        return UndirectedGraph(n=self.n, edges=frozenset(comp))
+
+    def remove_node(self, v: int) -> "UndirectedGraph":
+        """The graph with node ``v`` (and its incident edges) removed; nodes are *not* renumbered."""
+        return UndirectedGraph(
+            n=self.n, edges=frozenset(e for e in self.edges if v not in e)
+        )
+
+
+def _max_independent_set(
+    graph: UndirectedGraph, allowed: FrozenSet[int]
+) -> FrozenSet[int]:
+    """Branch-and-bound maximum independent set restricted to ``allowed`` nodes."""
+    adj = {v: graph.neighbors(v) & allowed for v in allowed}
+    best: Set[int] = set()
+
+    def branch(candidates: Set[int], current: Set[int]) -> None:
+        nonlocal best
+        if len(current) + len(candidates) <= len(best):
+            return
+        if not candidates:
+            if len(current) > len(best):
+                best = set(current)
+            return
+        # branch on a maximum-degree candidate: either exclude it or include it
+        v = max(candidates, key=lambda x: len(adj[x] & candidates))
+        without = set(candidates)
+        without.discard(v)
+        # include v
+        branch(without - adj[v], current | {v})
+        # exclude v
+        branch(without, current)
+
+    branch(set(allowed), set())
+    return frozenset(best)
+
+
+def maximum_independent_set(graph: UndirectedGraph) -> FrozenSet[int]:
+    """Some maximum independent set of ``graph`` (exact, exponential-time)."""
+    return _max_independent_set(graph, frozenset(range(graph.n)))
+
+
+def independence_number(graph: UndirectedGraph) -> int:
+    """The size of a maximum independent set."""
+    return len(maximum_independent_set(graph))
+
+
+def maximum_clique(graph: UndirectedGraph) -> FrozenSet[int]:
+    """Some maximum clique of ``graph`` (via the complement graph)."""
+    return maximum_independent_set(graph.complement())
+
+
+def clique_number(graph: UndirectedGraph) -> int:
+    """The size of a maximum clique."""
+    return len(maximum_clique(graph))
+
+
+def maxinset_vertex(graph: UndirectedGraph, v0: int) -> bool:
+    """Definition 4.9: is ``v0`` contained in *some* maximum independent set?
+
+    Decided exactly by comparing the independence number with the largest
+    independent set forced to contain ``v0`` (i.e. ``1 + α(G − N[v0])``).
+    """
+    if not (0 <= v0 < graph.n):
+        raise ValueError(f"node {v0} is not a node of the graph")
+    alpha = independence_number(graph)
+    allowed = frozenset(range(graph.n)) - graph.neighbors(v0) - {v0}
+    with_v0 = 1 + len(_max_independent_set(graph, allowed))
+    return with_v0 == alpha
+
+
+def maxclique_vertex(graph: UndirectedGraph, v0: int) -> bool:
+    """The clique formulation used in Lemma A.1: is ``v0`` in some maximum clique?"""
+    return maxinset_vertex(graph.complement(), v0)
+
+
+def max_clique_via_vertex_oracle(
+    graph: UndirectedGraph,
+    oracle: Optional[Callable[[UndirectedGraph, int], bool]] = None,
+) -> FrozenSet[int]:
+    """The Lemma A.1 self-reduction: find a maximum clique using a ``maxclique-vertex`` oracle.
+
+    The procedure mirrors the proof: if every node has degree ``n - 1`` the
+    whole (remaining) node set is a clique; otherwise either some node is in
+    no maximum clique (remove it — all maximum cliques survive) or every node
+    is in one, in which case any node of non-full degree can be removed while
+    keeping at least one maximum clique intact.  With the exact oracle the
+    returned set is always a maximum clique of the input graph, which the
+    tests verify against the brute-force solver.
+    """
+    if oracle is None:
+        oracle = maxclique_vertex
+    active: Set[int] = set(range(graph.n))
+    g = graph
+    while True:
+        if not active:
+            return frozenset()
+        if all(len(g.neighbors(v) & active) == len(active) - 1 for v in active):
+            return frozenset(active)
+        # restrict the oracle calls to the graph induced by the active nodes
+        induced = UndirectedGraph(
+            n=graph.n,
+            edges=frozenset(e for e in g.edges if e[0] in active and e[1] in active),
+        )
+        removed = False
+        for v in sorted(active):
+            if not oracle(_induced_subgraph(induced, active), _rank(active, v)):
+                active.remove(v)
+                removed = True
+                break
+        if removed:
+            continue
+        # every node is in some maximum clique; drop any node of non-full degree
+        v = next(
+            v for v in sorted(active) if len(induced.neighbors(v) & active) < len(active) - 1
+        )
+        active.remove(v)
+
+
+def _rank(active: Set[int], v: int) -> int:
+    """Position of ``v`` among the sorted active nodes (the induced graph's node id)."""
+    return sorted(active).index(v)
+
+
+def _induced_subgraph(graph: UndirectedGraph, keep: Set[int]) -> UndirectedGraph:
+    """The subgraph induced by ``keep``, with nodes renumbered ``0 .. len(keep)-1``."""
+    order = sorted(keep)
+    remap = {old: new for new, old in enumerate(order)}
+    edges = [
+        (remap[u], remap[v]) for u, v in graph.edges if u in keep and v in keep
+    ]
+    return UndirectedGraph.from_edges(len(order), edges)

@@ -1,0 +1,282 @@
+"""Level gadgets, towers and auxiliary levels for the Theorem 7.1 construction.
+
+Theorem 7.1 shows that ``OPT_PRBP`` is NP-hard to approximate within any
+``n^{1-ε}`` factor by adapting the RBP inapproximability construction of [3].
+That construction is built from *level gadgets* arranged into *towers*:
+
+* a **level** of size ``ℓ`` is a chain ``u_1 → u_2 → ... → u_ℓ``;
+* between two consecutive levels ``(u_1..u_ℓ)`` and ``(v_1..v_{ℓ'})`` of a
+  tower there are the edges ``(u_i, v_i)`` for ``i <= min(ℓ, ℓ')`` and, when
+  ``ℓ > ℓ'``, additionally ``(u_i, v_{ℓ'})`` for ``ℓ' < i <= ℓ``;
+* a **tower** is a sequence of levels; cross-tower precedence edges connect a
+  level of one tower to a level of another.
+
+The PRBP adaptation (Figure 5 / Appendix A.5) inserts **auxiliary levels**:
+
+* one auxiliary level (of the same size as the following original level)
+  before every original level, and incoming cross-tower edges are re-routed
+  to the lowermost auxiliary level;
+* when a level of size ``ℓ`` is followed by a smaller level of size
+  ``ℓ' < ℓ``, a total of ``ℓ - ℓ' + 2`` auxiliary levels are inserted and
+  every node ``u_{ℓ'+1} .. u_ℓ`` gets an edge to the *last* node of each of
+  those auxiliary levels — this is what stops partial computations from
+  freeing the pebbles of ``u_{ℓ'+1} .. u_ℓ`` early;
+* an auxiliary level is also appended on top of every tower.
+
+This module provides the spec types (:class:`TowerSpec`), the PRBP-adapted
+spec transformation (:func:`insert_auxiliary_levels`), and the DAG builder
+(:func:`build_towers_dag`), plus a small demonstration construction used by
+the E12 benchmark.  The full [3] reduction (choosing the tower sizes from a
+3-SAT-like instance) is outside the scope of this paper, which only modifies
+the level gadgets; accordingly the builder takes arbitrary tower size
+profiles and cross-tower precedence constraints as input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.dag import ComputationalDAG, Edge
+
+__all__ = [
+    "LevelRef",
+    "TowerSpec",
+    "CrossEdge",
+    "AdaptedTower",
+    "insert_auxiliary_levels",
+    "build_towers_dag",
+    "TowersInstance",
+    "demo_theorem71_instance",
+]
+
+
+@dataclass(frozen=True)
+class LevelRef:
+    """Reference to an original level: ``tower`` index and ``level`` index within the tower."""
+
+    tower: int
+    level: int
+
+
+@dataclass(frozen=True)
+class CrossEdge:
+    """A cross-tower precedence constraint: level ``src`` must be computed before level ``dst``.
+
+    In the original RBP construction the edges go from the nodes of ``src`` to
+    the corresponding nodes of ``dst``; in the PRBP adaptation they are routed
+    to the lowermost auxiliary level inserted before ``dst``.
+    """
+
+    src: LevelRef
+    dst: LevelRef
+
+
+@dataclass(frozen=True)
+class TowerSpec:
+    """Sizes of the original levels of one tower, bottom (sources) first."""
+
+    level_sizes: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.level_sizes or any(s < 1 for s in self.level_sizes):
+            raise ValueError("every tower needs at least one level of positive size")
+
+
+@dataclass
+class AdaptedTower:
+    """A tower after the Appendix A.5 auxiliary-level insertion.
+
+    ``levels[i]`` is the size of the ``i``-th physical level (bottom first);
+    ``is_auxiliary[i]`` marks the inserted levels; ``original_index[i]`` maps
+    a non-auxiliary physical level back to its index in the original spec
+    (``-1`` for auxiliary levels); ``entry_aux_of_original[j]`` is the
+    physical index of the lowermost auxiliary level inserted before original
+    level ``j`` (the level cross-tower edges are routed to); ``shrink_extra``
+    maps a physical auxiliary-level index to the original level whose
+    "wide" nodes ``u_{ℓ'+1} .. u_ℓ`` must feed its last node.
+    """
+
+    levels: List[int]
+    is_auxiliary: List[bool]
+    original_index: List[int]
+    entry_aux_of_original: Dict[int, int]
+    shrink_extra: Dict[int, int]
+
+
+def insert_auxiliary_levels(spec: TowerSpec) -> AdaptedTower:
+    """Apply the Appendix A.5 transformation to one tower's level-size profile."""
+    sizes = spec.level_sizes
+    levels: List[int] = []
+    is_aux: List[bool] = []
+    orig_idx: List[int] = []
+    entry_aux: Dict[int, int] = {}
+    shrink_extra: Dict[int, int] = {}
+
+    def push(size: int, aux: bool, original: int = -1) -> int:
+        levels.append(size)
+        is_aux.append(aux)
+        orig_idx.append(original)
+        return len(levels) - 1
+
+    for j, size in enumerate(sizes):
+        if j == 0:
+            push(size, aux=False, original=0)
+            continue
+        prev = sizes[j - 1]
+        if prev > size:
+            count = prev - size + 2
+        else:
+            count = 1
+        first_aux = None
+        for a in range(count):
+            idx = push(size, aux=True)
+            if first_aux is None:
+                first_aux = idx
+            if prev > size:
+                shrink_extra[idx] = j - 1
+        entry_aux[j] = first_aux  # type: ignore[assignment]
+        push(size, aux=False, original=j)
+    # one auxiliary level on top of the tower (same size as the last level)
+    push(sizes[-1], aux=True)
+    return AdaptedTower(
+        levels=levels,
+        is_auxiliary=is_aux,
+        original_index=orig_idx,
+        entry_aux_of_original=entry_aux,
+        shrink_extra=shrink_extra,
+    )
+
+
+@dataclass
+class TowersInstance:
+    """The DAG built from a set of (adapted or plain) towers plus book-keeping.
+
+    ``nodes[t][i]`` lists the node ids of physical level ``i`` of tower ``t``
+    (bottom first, chain order).
+    """
+
+    dag: ComputationalDAG
+    adapted: bool
+    towers: List[AdaptedTower]
+    nodes: List[List[List[int]]]
+
+    def level_nodes(self, tower: int, physical_level: int) -> List[int]:
+        """Node ids of one physical level."""
+        return self.nodes[tower][physical_level]
+
+
+def _plain_adapted(spec: TowerSpec) -> AdaptedTower:
+    """A tower with no auxiliary levels (used to build the original RBP construction)."""
+    sizes = list(spec.level_sizes)
+    return AdaptedTower(
+        levels=sizes,
+        is_auxiliary=[False] * len(sizes),
+        original_index=list(range(len(sizes))),
+        entry_aux_of_original={},
+        shrink_extra={},
+    )
+
+
+def build_towers_dag(
+    specs: Sequence[TowerSpec],
+    cross_edges: Sequence[CrossEdge] = (),
+    adapted: bool = True,
+) -> TowersInstance:
+    """Build the multi-tower DAG, optionally with the PRBP auxiliary-level adaptation.
+
+    With ``adapted=False`` the original RBP-style construction is produced
+    (cross edges go directly between the original levels); with
+    ``adapted=True`` the Appendix A.5 modifications are applied.
+    """
+    adapted_towers = [insert_auxiliary_levels(s) if adapted else _plain_adapted(s) for s in specs]
+    labels: Dict[int, str] = {}
+    edges: List[Edge] = []
+    next_id = 0
+    nodes: List[List[List[int]]] = []
+
+    def new(label: str) -> int:
+        nonlocal next_id
+        labels[next_id] = label
+        next_id += 1
+        return next_id - 1
+
+    # create all nodes
+    for t, tower in enumerate(adapted_towers):
+        tower_nodes: List[List[int]] = []
+        for li, size in enumerate(tower.levels):
+            kind = "aux" if tower.is_auxiliary[li] else "lvl"
+            tower_nodes.append([new(f"T{t}.{kind}{li}.{i}") for i in range(size)])
+        nodes.append(tower_nodes)
+
+    # intra-tower edges
+    for t, tower in enumerate(adapted_towers):
+        for li, level in enumerate(nodes[t]):
+            # chain within the level
+            for i in range(len(level) - 1):
+                edges.append((level[i], level[i + 1]))
+            if li == 0:
+                continue
+            below = nodes[t][li - 1]
+            ell, ell_prime = len(below), len(level)
+            for i in range(min(ell, ell_prime)):
+                edges.append((below[i], level[i]))
+            if ell > ell_prime:
+                for i in range(ell_prime, ell):
+                    edges.append((below[i], level[ell_prime - 1]))
+            # the shrink-protection edges: wide nodes of the original level feed
+            # the last node of each auxiliary level inserted after it
+            src_orig = tower.shrink_extra.get(li)
+            if src_orig is not None:
+                # physical index of that original level
+                phys = tower.original_index.index(src_orig)
+                wide_nodes = nodes[t][phys]
+                ell_orig = len(wide_nodes)
+                for i in range(ell_prime, ell_orig):
+                    edge = (wide_nodes[i], level[-1])
+                    if edge not in edges:
+                        edges.append(edge)
+
+    # cross-tower precedence edges
+    for ce in cross_edges:
+        src_tower = adapted_towers[ce.src.tower]
+        dst_tower = adapted_towers[ce.dst.tower]
+        src_phys = src_tower.original_index.index(ce.src.level)
+        if adapted and ce.dst.level in dst_tower.entry_aux_of_original:
+            dst_phys = dst_tower.entry_aux_of_original[ce.dst.level]
+        else:
+            dst_phys = dst_tower.original_index.index(ce.dst.level)
+        src_nodes = nodes[ce.src.tower][src_phys]
+        dst_nodes = nodes[ce.dst.tower][dst_phys]
+        for i in range(min(len(src_nodes), len(dst_nodes))):
+            edges.append((src_nodes[i], dst_nodes[i]))
+        if len(src_nodes) > len(dst_nodes):
+            for i in range(len(dst_nodes), len(src_nodes)):
+                edges.append((src_nodes[i], dst_nodes[-1]))
+
+    # deduplicate edges that the shrink-protection rule may have repeated
+    seen = set()
+    unique_edges: List[Edge] = []
+    for e in edges:
+        if e not in seen:
+            seen.add(e)
+            unique_edges.append(e)
+
+    dag = ComputationalDAG(next_id, unique_edges, labels=labels, name="thm71-towers")
+    return TowersInstance(dag=dag, adapted=adapted, towers=adapted_towers, nodes=nodes)
+
+
+def demo_theorem71_instance(adapted: bool = True) -> TowersInstance:
+    """A small two-tower demonstration instance with a shrinking level and a cross edge.
+
+    Used by the E12 benchmark and the hardness example to show the effect of
+    the auxiliary levels on the DAG structure (size growth stays polynomial,
+    precedence constraints survive partial computations).
+    """
+    main = TowerSpec(level_sizes=(4, 4, 2, 3))
+    side = TowerSpec(level_sizes=(3, 3, 3))
+    cross = [
+        CrossEdge(src=LevelRef(tower=1, level=1), dst=LevelRef(tower=0, level=2)),
+        CrossEdge(src=LevelRef(tower=0, level=1), dst=LevelRef(tower=1, level=2)),
+    ]
+    return build_towers_dag([main, side], cross, adapted=adapted)

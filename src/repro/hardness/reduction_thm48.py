@@ -1,0 +1,203 @@
+"""The Theorem 4.8 reduction: from ``maxinset-vertex`` to "does PRBP beat RBP?".
+
+Theorem 4.8 states that deciding ``OPT_PRBP < OPT_RBP`` for a given DAG and
+capacity ``r`` is NP-hard.  The reduction (Appendix A.4, building on [3, 18])
+creates, for an undirected graph ``G0`` on ``n0`` nodes and a distinguished
+node ``v0``:
+
+* per node ``u`` of ``G0``, two pebble-collection gadgets ``H1(u)`` and
+  ``H2(u)`` with ``r - 2`` source nodes each and long chains;
+* the first ``b`` sources of ``H1(u)`` and ``H2(u)`` are merged (visiting the
+  pair consecutively saves ``b`` reloads);
+* for every edge ``(u1, u2)`` of ``G0``, one source of ``H2(u2)`` is replaced
+  by a node in the middle of the chain of ``H1(u1)`` and vice versa (so the
+  gadget pairs of adjacent nodes cannot both be visited consecutively);
+* a dependence from ``H1(u)`` to ``H2(u)`` forcing the natural visit order;
+* two triples ``Z1 ⊆ H1(v0)``, ``Z2 ⊆ H2(v0)`` of sources and an extra sink
+  ``w`` fed by all six — the node whose cost differs between RBP and PRBP
+  exactly when ``v0`` is in *no* maximum independent set.
+
+The construction is exact in its combinatorial structure and in the parameter
+relations of Appendix A.4 (``r = b + 4·n0 + 5``, chain length
+``ℓ = 2·ℓ0 + n0 + (r - 2)`` with ``ℓ0 = 2(r-2)·(n0·b + 2|E0| + 6 + r)``).
+Because ``ℓ`` is what makes the reduction sound but also what makes the DAG
+large, the builder accepts a ``chain_scale`` parameter (default 1.0 =
+faithful) that the benchmarks use to build structurally identical but smaller
+demonstration instances.
+
+Deciding the actual value of ``OPT_RBP`` / ``OPT_PRBP`` on these instances is
+of course the NP-hard problem itself; the tests therefore verify the
+*structural* guarantees (sizes, degrees, polynomiality, the merge/replacement
+book-keeping and the independence-set semantics on the ``G0`` side).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.dag import ComputationalDAG, Edge
+from .independent_set import UndirectedGraph
+
+__all__ = ["Theorem48Instance", "Theorem48Parameters", "build_theorem48_instance"]
+
+
+@dataclass(frozen=True)
+class Theorem48Parameters:
+    """The numeric parameters of the Appendix A.4 construction."""
+
+    n0: int
+    num_edges0: int
+    b: int
+    r: int
+    group_size: int  # = r - 2 source nodes per gadget
+    ell0: int
+    ell: int  # chain length per gadget
+
+    @classmethod
+    def from_graph(cls, graph: UndirectedGraph, b: int = 8, chain_scale: float = 1.0) -> "Theorem48Parameters":
+        """Derive the parameters from ``G0`` following Appendix A.4."""
+        if b <= 3:
+            raise ValueError("b must exceed |Z1| = |Z2| = 3")
+        n0 = graph.n
+        e0 = len(graph.edges)
+        r = b + 4 * n0 + 5
+        group_size = r - 2
+        ell0_exact = 2 * (r - 2) * (n0 * b + 2 * e0 + 6 + r)
+        ell0 = max(n0 + 4, int(math.ceil(ell0_exact * chain_scale)))
+        ell = 2 * ell0 + n0 + (r - 2)
+        return cls(n0=n0, num_edges0=e0, b=b, r=r, group_size=group_size, ell0=ell0, ell=ell)
+
+
+@dataclass
+class Theorem48Instance:
+    """The reduction DAG plus the book-keeping needed to interpret it.
+
+    ``h1_sources[u]`` / ``h2_sources[u]`` list the source-role node ids of the
+    two gadgets of ``G0``-node ``u`` (some of which are merged nodes or middle
+    chain nodes of other gadgets, per the construction); ``h1_chain[u]`` /
+    ``h2_chain[u]`` are the chain node ids.  ``z1`` / ``z2`` are the triples
+    feeding the extra sink ``w``.
+    """
+
+    dag: ComputationalDAG
+    graph: UndirectedGraph
+    v0: int
+    params: Theorem48Parameters
+    h1_sources: Dict[int, List[int]]
+    h2_sources: Dict[int, List[int]]
+    h1_chain: Dict[int, List[int]]
+    h2_chain: Dict[int, List[int]]
+    merged_sources: Dict[int, List[int]]
+    z1: Tuple[int, int, int]
+    z2: Tuple[int, int, int]
+    w: int
+
+    @property
+    def r(self) -> int:
+        """The fast-memory capacity the reduction is stated for."""
+        return self.params.r
+
+
+def build_theorem48_instance(
+    graph: UndirectedGraph,
+    v0: int,
+    b: int = 8,
+    chain_scale: float = 1.0,
+) -> Theorem48Instance:
+    """Build the Theorem 4.8 / Appendix A.4 reduction DAG for ``(G0, v0)``."""
+    if not (0 <= v0 < graph.n):
+        raise ValueError(f"v0 = {v0} is not a node of G0")
+    params = Theorem48Parameters.from_graph(graph, b=b, chain_scale=chain_scale)
+    n0, group_size, ell = params.n0, params.group_size, params.ell
+    labels: Dict[int, str] = {}
+    edges: List[Edge] = []
+    next_id = 0
+
+    def new(label: str) -> int:
+        nonlocal next_id
+        labels[next_id] = label
+        next_id += 1
+        return next_id - 1
+
+    # ------------------------------------------------------------------ #
+    # 1. chains: every gadget gets its own chain of length ell
+    # ------------------------------------------------------------------ #
+    h1_chain: Dict[int, List[int]] = {}
+    h2_chain: Dict[int, List[int]] = {}
+    for u in range(n0):
+        h1_chain[u] = [new(f"H1({u}).c{i}") for i in range(ell)]
+        h2_chain[u] = [new(f"H2({u}).c{i}") for i in range(ell)]
+    # middle section of each H1 chain used as replacement nodes (A.4): the n0
+    # nodes right after the first long part
+    middle_offset = params.ell0 + (params.r - 2)
+
+    def h1_middle(u: int, idx: int) -> int:
+        return h1_chain[u][middle_offset + idx]
+
+    # ------------------------------------------------------------------ #
+    # 2. source groups: b merged + per-gadget sources, with cross replacements
+    # ------------------------------------------------------------------ #
+    merged_sources: Dict[int, List[int]] = {}
+    h1_sources: Dict[int, List[int]] = {}
+    h2_sources: Dict[int, List[int]] = {}
+    for u in range(n0):
+        merged = [new(f"M({u}).{i}") for i in range(params.b)]
+        merged_sources[u] = merged
+        own_h1 = [new(f"H1({u}).s{i}") for i in range(group_size - params.b)]
+        h1_sources[u] = merged + own_h1
+        # H2's own sources: one slot per G0-neighbour is *replaced* by a
+        # middle chain node of the neighbour's H1 gadget, and one further slot
+        # by a middle node of this node's own H1 gadget (the H1(u) -> H2(u)
+        # dependence the appendix adds for a simpler analysis).
+        neighbours = sorted(graph.neighbors(u))
+        replacements = [h1_middle(nb, sorted(graph.neighbors(nb)).index(u)) for nb in neighbours]
+        replacements.append(h1_middle(u, len(neighbours)))
+        own_count = group_size - params.b - len(replacements)
+        if own_count < 3 * n0:
+            raise ValueError(
+                "the group size is too small to leave 3*n0 anchor nodes; increase b"
+            )
+        own_h2 = [new(f"H2({u}).s{i}") for i in range(own_count)]
+        h2_sources[u] = merged + replacements + own_h2
+
+    # ------------------------------------------------------------------ #
+    # 3. chain wiring: chain node i depends on the previous chain node and
+    #    on source (i mod group_size) of its gadget
+    # ------------------------------------------------------------------ #
+    for u in range(n0):
+        for which, chain, sources in (
+            ("H1", h1_chain[u], h1_sources[u]),
+            ("H2", h2_chain[u], h2_sources[u]),
+        ):
+            for i, c in enumerate(chain):
+                if i > 0:
+                    edges.append((chain[i - 1], c))
+                edges.append((sources[i % group_size], c))
+
+    # ------------------------------------------------------------------ #
+    # 4. Z1, Z2 and the extra sink w (the PRBP-vs-RBP discriminator)
+    # ------------------------------------------------------------------ #
+    z1 = tuple(h1_sources[v0][params.b : params.b + 3])
+    z2_pool = [s for s in h2_sources[v0] if labels[s].startswith(f"H2({v0}).s")]
+    z2 = tuple(z2_pool[:3])
+    w = new("w")
+    for z in list(z1) + list(z2):
+        edges.append((z, w))
+
+    dag = ComputationalDAG(next_id, edges, labels=labels, name=f"thm48-n{n0}")
+    return Theorem48Instance(
+        dag=dag,
+        graph=graph,
+        v0=v0,
+        params=params,
+        h1_sources=h1_sources,
+        h2_sources=h2_sources,
+        h1_chain=h1_chain,
+        h2_chain=h2_chain,
+        merged_sources=merged_sources,
+        z1=z1,  # type: ignore[arg-type]
+        z2=z2,  # type: ignore[arg-type]
+        w=w,
+    )

@@ -1,0 +1,86 @@
+"""Naive baseline schedules: worst-reasonable upper bounds for comparisons.
+
+The benchmarks report three numbers per instance — a lower bound, the cost of
+the paper's strategy, and the cost of a *naive* strategy that makes no
+attempt at reuse — so that the reader can see how much of the possible
+improvement the clever strategy captures.  The naive strategies here spill
+every intermediate value to slow memory and reload every input right before
+it is used; they are valid for the smallest possible cache (``r = 2`` in
+PRBP, ``r = Δ_in + 1`` in RBP) and their cost is essentially ``2·|E|``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.dag import ComputationalDAG
+from ..core.exceptions import SolverError
+from ..core.moves import MoveKind, PRBPMove, RBPMove
+from ..core.pebbles import PRBPState
+from ..core.prbp import PRBPGame
+from ..core.rbp import RBPGame
+from ..core.strategy import PRBPSchedule, RBPSchedule
+from ..core.variants import ONE_SHOT, GameVariant
+
+__all__ = ["naive_prbp_schedule", "naive_rbp_schedule"]
+
+
+def naive_prbp_schedule(
+    dag: ComputationalDAG, r: int = 2, variant: GameVariant = ONE_SHOT
+) -> PRBPSchedule:
+    """Spill-everything PRBP pebbling: one load per edge tail, one save/load pair per partial value.
+
+    Works for every DAG with ``r >= 2`` and costs at most ``2·|E| + |sinks|``
+    I/O operations; it is the PRBP analogue of a cache of size two with no
+    reuse across consecutive operations.
+    """
+    if r < 2 and dag.m > 0:
+        raise SolverError(f"the naive PRBP strategy needs r >= 2, got r = {r}")
+    game = PRBPGame(dag, r, variant=variant)
+    for v in dag.topological_order:
+        for u in dag.predecessors(v):
+            # bring u in
+            if not game.node_state(u).has_red:
+                game.apply(PRBPMove(MoveKind.LOAD, node=u))
+            # bring the partial value of v back in if it was spilled
+            if game.node_state(v) is PRBPState.BLUE:
+                game.apply(PRBPMove(MoveKind.LOAD, node=v))
+            game.apply(PRBPMove(MoveKind.COMPUTE, edge=(u, v)))
+            # spill the partial value and drop everything from fast memory
+            game.apply(PRBPMove(MoveKind.SAVE, node=v))
+            game.apply(PRBPMove(MoveKind.DELETE, node=v))
+            if game.node_state(u).has_red:
+                game.apply(PRBPMove(MoveKind.DELETE, node=u))
+    game.assert_terminal()
+    assert game.history is not None
+    return PRBPSchedule(dag, r, list(game.history), variant=variant, description="naive spill-everything")
+
+
+def naive_rbp_schedule(
+    dag: ComputationalDAG, r: int | None = None, variant: GameVariant = ONE_SHOT
+) -> RBPSchedule:
+    """Spill-everything RBP pebbling: reload every input of every node, save every result.
+
+    Uses ``r = Δ_in + 1`` by default (the smallest feasible cache) and costs
+    ``Σ_v (deg_in(v) + 1)`` I/O operations plus the source loads.
+    """
+    if r is None:
+        r = dag.max_in_degree + 1
+    if r < dag.max_in_degree + 1:
+        raise SolverError(
+            f"no valid RBP pebbling exists: r = {r} < max in-degree + 1 = {dag.max_in_degree + 1}"
+        )
+    game = RBPGame(dag, r, variant=variant)
+    for v in dag.topological_order:
+        if dag.is_source(v):
+            continue
+        for u in dag.predecessors(v):
+            if u not in game.red:
+                game.apply(RBPMove(MoveKind.LOAD, u))
+        game.apply(RBPMove(MoveKind.COMPUTE, v))
+        game.apply(RBPMove(MoveKind.SAVE, v))
+        for u in list(game.red):
+            game.apply(RBPMove(MoveKind.DELETE, u))
+    game.assert_terminal()
+    assert game.history is not None
+    return RBPSchedule(dag, r, list(game.history), variant=variant, description="naive spill-everything")

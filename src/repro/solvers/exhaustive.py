@@ -1,0 +1,499 @@
+"""Exact optimal pebbling via A* search over game configurations.
+
+Computing ``OPT_RBP`` and ``OPT_PRBP`` is NP-hard (and hard to approximate,
+Theorem 7.1), so exact solvers can only target small DAGs — which is exactly
+what the paper's examples need: the Figure 1 gadget, small trees, small
+zipper and collection gadgets, and the DAG families at toy sizes.  The
+solvers here are used by the test-suite and the benchmarks to *verify* that
+the structured strategies and the closed-form costs of the propositions are
+actually optimal.
+
+Search formulation
+------------------
+A configuration is the complete game state:
+
+* RBP:  ``(red set, blue set, computed set)`` — three bitmasks;
+* PRBP: ``(per-node pebble state, marked-edge set)`` — a 2-bit-per-node code
+  and an edge bitmask.
+
+Moves are grouped into *macro moves* in a cost-preserving normal form:
+
+* **Deferred deletes.**  Delete moves are free and their legality is
+  monotone in time (a light red pebble can always be deleted; a dark red
+  pebble becomes deletable once all its out-edges are marked, and marks are
+  never removed in the one-shot game), and keeping a pebble never disables a
+  later move except through the capacity bound, which is only checked when a
+  pebble is *added*.  Hence every strategy can be normalised so that deletes
+  happen immediately before the load/compute that needs the freed slot.  The
+  solver therefore only branches over "delete one pebble + add one pebble"
+  pairs when the configuration is at capacity.
+* **Useless-move elimination.**  Loads of values that can never be used
+  again, saves of values that are already up to date in slow memory, and
+  saves of values that are never needed again are never part of a minimal
+  strategy and are not generated.
+
+The search is A* with the admissible (not necessarily consistent) heuristic
+"number of unsaved sinks plus number of sources that still have to be
+re-loaded"; both terms count distinct, unavoidable future I/O operations.
+States are re-opened when a cheaper path is found, so inconsistency only
+costs re-expansions, never optimality.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.dag import ComputationalDAG
+from ..core.exceptions import SolverError
+from ..core.moves import MoveKind, PRBPMove, RBPMove
+from ..core.pebbles import PRBPState
+from ..core.strategy import PRBPSchedule, RBPSchedule
+from ..core.variants import ONE_SHOT, GameVariant
+
+__all__ = [
+    "optimal_rbp_schedule",
+    "optimal_rbp_cost",
+    "optimal_prbp_schedule",
+    "optimal_prbp_cost",
+    "DEFAULT_MAX_STATES",
+]
+
+#: Default cap on the number of distinct configurations the solvers may expand.
+DEFAULT_MAX_STATES = 2_000_000
+
+
+def _popcount(x: int) -> int:
+    return bin(x).count("1")
+
+
+def _bits(x: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``x`` in increasing order."""
+    while x:
+        low = x & -x
+        yield low.bit_length() - 1
+        x ^= low
+
+
+# --------------------------------------------------------------------------- #
+# RBP
+# --------------------------------------------------------------------------- #
+
+
+class _RBPSearch:
+    """A* search for the optimal RBP pebbling of a small DAG."""
+
+    def __init__(self, dag: ComputationalDAG, r: int, variant: GameVariant, max_states: int):
+        self.dag = dag
+        self.r = r
+        self.variant = variant
+        self.max_states = max_states
+        self.n = dag.n
+        self.source_mask = sum(1 << v for v in dag.sources)
+        self.sink_mask = sum(1 << v for v in dag.sinks)
+        self.pred_mask = [sum(1 << u for u in dag.predecessors(v)) for v in range(self.n)]
+        self.succ_mask = [sum(1 << w for w in dag.successors(v)) for v in range(self.n)]
+        self.is_source = [dag.is_source(v) for v in range(self.n)]
+        self.is_sink = [dag.is_sink(v) for v in range(self.n)]
+        if not variant.allow_sliding and r < dag.max_in_degree + 1:
+            raise SolverError(
+                f"no valid RBP pebbling exists: r = {r} < max in-degree + 1 = {dag.max_in_degree + 1}"
+            )
+        if variant.allow_sliding and r < dag.max_in_degree:
+            raise SolverError(
+                f"no valid sliding-RBP pebbling exists: r = {r} < max in-degree = {dag.max_in_degree}"
+            )
+
+    # state = (red, blue, computed) bitmask triple
+
+    def initial(self) -> Tuple[int, int, int]:
+        return (0, self.source_mask, 0)
+
+    def is_goal(self, state: Tuple[int, int, int]) -> bool:
+        return (state[1] & self.sink_mask) == self.sink_mask
+
+    def heuristic(self, state: Tuple[int, int, int]) -> int:
+        red, blue, computed = state
+        h = _popcount(self.sink_mask & ~blue)
+        for s in _bits(self.source_mask & ~red):
+            # a source that still has an uncomputed successor must be (re)loaded
+            if self.succ_mask[s] & ~computed:
+                h += 1
+        return h
+
+    def successors(
+        self, state: Tuple[int, int, int]
+    ) -> Iterator[Tuple[Tuple[int, int, int], float, Tuple[RBPMove, ...]]]:
+        red, blue, computed = state
+        red_count = _popcount(red)
+        at_capacity = red_count >= self.r
+        one_shot = self.variant.one_shot
+        allow_delete = self.variant.allow_delete
+        compute_cost = self.variant.compute_cost
+
+        # deletable red pebbles (for deferred deletes); in the no-deletion
+        # variant nothing can be deleted.
+        deletable = list(_bits(red)) if allow_delete else []
+
+        for v in range(self.n):
+            bit = 1 << v
+            in_red = bool(red & bit)
+            in_blue = bool(blue & bit)
+
+            # ---- save -------------------------------------------------- #
+            # In the no-deletion variant a save is also the only way to free a
+            # fast-memory slot, so it is generated even when it looks useless
+            # (and even when the node is already blue).
+            if in_red and (not in_blue or not allow_delete):
+                useful = True
+                if (
+                    allow_delete
+                    and one_shot
+                    and not self.is_sink[v]
+                    and not (self.succ_mask[v] & ~computed)
+                ):
+                    useful = False  # value can never be needed again
+                if useful:
+                    new_red = red if allow_delete else red & ~bit
+                    yield (new_red, blue | bit, computed), 1.0, (RBPMove(MoveKind.SAVE, v),)
+
+            # ---- load -------------------------------------------------- #
+            if in_blue and not in_red:
+                useful = bool(self.succ_mask[v] & ~computed) if one_shot else bool(self.succ_mask[v])
+                if useful:
+                    if not at_capacity:
+                        yield (red | bit, blue, computed), 1.0, (RBPMove(MoveKind.LOAD, v),)
+                    else:
+                        for d in deletable:
+                            dbit = 1 << d
+                            yield (
+                                ((red & ~dbit) | bit, blue, computed),
+                                1.0,
+                                (RBPMove(MoveKind.DELETE, d), RBPMove(MoveKind.LOAD, v)),
+                            )
+
+            # ---- compute ----------------------------------------------- #
+            if not self.is_source[v] and not in_red:
+                if one_shot and (computed & bit):
+                    continue
+                if (red & self.pred_mask[v]) != self.pred_mask[v]:
+                    continue
+                cost = float(compute_cost)
+                if self.variant.allow_sliding:
+                    for u in _bits(self.pred_mask[v]):
+                        ubit = 1 << u
+                        yield (
+                            ((red & ~ubit) | bit, blue, computed | bit),
+                            cost,
+                            (RBPMove(MoveKind.COMPUTE, v, slide_from=u),),
+                        )
+                if not at_capacity:
+                    yield (red | bit, blue, computed | bit), cost, (RBPMove(MoveKind.COMPUTE, v),)
+                else:
+                    for d in deletable:
+                        dbit = 1 << d
+                        if dbit & self.pred_mask[v]:
+                            continue  # deleting an input would make the compute illegal
+                        yield (
+                            ((red & ~dbit) | bit, blue, computed | bit),
+                            cost,
+                            (RBPMove(MoveKind.DELETE, d), RBPMove(MoveKind.COMPUTE, v)),
+                        )
+
+
+class _PRBPSearch:
+    """A* search for the optimal (one-shot) PRBP pebbling of a small DAG."""
+
+    def __init__(self, dag: ComputationalDAG, r: int, variant: GameVariant, max_states: int):
+        if not variant.one_shot:
+            raise SolverError("the exhaustive PRBP solver only supports the one-shot variant")
+        if variant.allow_sliding:
+            raise SolverError("the sliding rule does not exist in PRBP")
+        self.dag = dag
+        self.r = r
+        self.variant = variant
+        self.max_states = max_states
+        self.n = dag.n
+        self.m = dag.m
+        self.edges = dag.edges
+        self.in_edge_ids = [
+            [dag.edge_id(u, v) for u in dag.predecessors(v)] for v in range(self.n)
+        ]
+        self.out_edge_ids = [
+            [dag.edge_id(v, w) for w in dag.successors(v)] for v in range(self.n)
+        ]
+        self.in_edge_mask = [sum(1 << e for e in self.in_edge_ids[v]) for v in range(self.n)]
+        self.out_edge_mask = [sum(1 << e for e in self.out_edge_ids[v]) for v in range(self.n)]
+        self.is_source = [dag.is_source(v) for v in range(self.n)]
+        self.is_sink = [dag.is_sink(v) for v in range(self.n)]
+        self.sinks = list(dag.sinks)
+        self.sources = list(dag.sources)
+        self.all_edges_mask = (1 << self.m) - 1
+        if r < 2 and dag.max_in_degree >= 1:
+            raise SolverError(
+                f"no valid PRBP pebbling exists for r = {r} < 2 on a DAG with edges"
+            )
+
+    # state = (codes, marked) where codes packs 2 bits per node
+
+    def initial(self) -> Tuple[int, int]:
+        codes = 0
+        for v in self.sources:
+            codes |= int(PRBPState.BLUE) << (2 * v)
+        return (codes, 0)
+
+    def _state_of(self, codes: int, v: int) -> int:
+        return (codes >> (2 * v)) & 3
+
+    def _with_state(self, codes: int, v: int, st: int) -> int:
+        shift = 2 * v
+        return (codes & ~(3 << shift)) | (st << shift)
+
+    def is_goal(self, state: Tuple[int, int]) -> bool:
+        codes, marked = state
+        if marked != self.all_edges_mask:
+            return False
+        for v in self.sinks:
+            st = self._state_of(codes, v)
+            if st != int(PRBPState.BLUE) and st != int(PRBPState.BLUE_LIGHT_RED):
+                return False
+        return True
+
+    def heuristic(self, state: Tuple[int, int]) -> int:
+        codes, marked = state
+        h = 0
+        for v in self.sinks:
+            st = self._state_of(codes, v)
+            if st == int(PRBPState.NONE) or st == int(PRBPState.DARK_RED):
+                h += 1  # a save of this sink is still pending
+        for s in self.sources:
+            st = self._state_of(codes, s)
+            if st == int(PRBPState.BLUE) and (self.out_edge_mask[s] & ~marked):
+                h += 1  # the source must be loaded again to mark its remaining out-edges
+        return h
+
+    def _red_count(self, codes: int) -> int:
+        cnt = 0
+        for v in range(self.n):
+            st = (codes >> (2 * v)) & 3
+            if st == int(PRBPState.BLUE_LIGHT_RED) or st == int(PRBPState.DARK_RED):
+                cnt += 1
+        return cnt
+
+    def _deletable(self, codes: int, marked: int) -> List[Tuple[int, int]]:
+        """Red pebbles that may be deleted right now, as ``(node, resulting state)`` pairs."""
+        out: List[Tuple[int, int]] = []
+        for v in range(self.n):
+            st = (codes >> (2 * v)) & 3
+            if st == int(PRBPState.BLUE_LIGHT_RED):
+                out.append((v, int(PRBPState.BLUE)))
+            elif st == int(PRBPState.DARK_RED):
+                if (
+                    self.variant.allow_delete
+                    and (self.out_edge_mask[v] & ~marked) == 0
+                    and (self.in_edge_mask[v] & ~marked) == 0
+                ):
+                    out.append((v, int(PRBPState.NONE)))
+        return out
+
+    def successors(
+        self, state: Tuple[int, int]
+    ) -> Iterator[Tuple[Tuple[int, int], float, Tuple[PRBPMove, ...]]]:
+        codes, marked = state
+        red_count = self._red_count(codes)
+        at_capacity = red_count >= self.r
+        deletable = self._deletable(codes, marked)
+        compute_cost = self.variant.compute_cost
+
+        DARK = int(PRBPState.DARK_RED)
+        LIGHT = int(PRBPState.BLUE_LIGHT_RED)
+        BLUE = int(PRBPState.BLUE)
+        NONE = int(PRBPState.NONE)
+
+        for v in range(self.n):
+            st = (codes >> (2 * v)) & 3
+
+            # ---- save -------------------------------------------------- #
+            if st == DARK:
+                # Without the delete rule for dark red pebbles (no-deletion
+                # variant) a save may be needed purely to free the slot.
+                useful = (
+                    self.is_sink[v]
+                    or bool(self.out_edge_mask[v] & ~marked)
+                    or not self.variant.allow_delete
+                )
+                if useful:
+                    yield (
+                        (self._with_state(codes, v, LIGHT), marked),
+                        1.0,
+                        (PRBPMove(MoveKind.SAVE, node=v),),
+                    )
+
+            # ---- load -------------------------------------------------- #
+            if st == BLUE:
+                needs_more_inputs = bool(self.in_edge_mask[v] & ~marked)
+                feeds_someone = bool(self.out_edge_mask[v] & ~marked)
+                if needs_more_inputs or feeds_someone:
+                    if not at_capacity:
+                        yield (
+                            (self._with_state(codes, v, LIGHT), marked),
+                            1.0,
+                            (PRBPMove(MoveKind.LOAD, node=v),),
+                        )
+                    else:
+                        for d, dst in deletable:
+                            if d == v:
+                                continue
+                            new_codes = self._with_state(codes, d, dst)
+                            new_codes = self._with_state(new_codes, v, LIGHT)
+                            yield (
+                                (new_codes, marked),
+                                1.0,
+                                (
+                                    PRBPMove(MoveKind.DELETE, node=d),
+                                    PRBPMove(MoveKind.LOAD, node=v),
+                                ),
+                            )
+
+        # ---- partial computes ------------------------------------------ #
+        for eid in _bits(self.all_edges_mask & ~marked):
+            u, v = self.edges[eid]
+            stu = (codes >> (2 * u)) & 3
+            if stu != DARK and stu != LIGHT:
+                continue
+            if self.in_edge_mask[u] & ~marked:
+                continue  # u not fully computed yet
+            stv = (codes >> (2 * v)) & 3
+            if stv == BLUE:
+                continue  # v's partial value must first be loaded
+            new_marked = marked | (1 << eid)
+            cost = float(compute_cost)
+            if cost and self.variant.split_compute_cost:
+                cost /= self.dag.in_degree(v)
+            if stv == NONE:
+                if not at_capacity:
+                    yield (
+                        (self._with_state(codes, v, DARK), new_marked),
+                        cost,
+                        (PRBPMove(MoveKind.COMPUTE, edge=(u, v)),),
+                    )
+                else:
+                    for d, dst in deletable:
+                        if d == u or d == v:
+                            continue
+                        new_codes = self._with_state(codes, d, dst)
+                        new_codes = self._with_state(new_codes, v, DARK)
+                        yield (
+                            (new_codes, new_marked),
+                            cost,
+                            (
+                                PRBPMove(MoveKind.DELETE, node=d),
+                                PRBPMove(MoveKind.COMPUTE, edge=(u, v)),
+                            ),
+                        )
+            else:
+                yield (
+                    (self._with_state(codes, v, DARK), new_marked),
+                    cost,
+                    (PRBPMove(MoveKind.COMPUTE, edge=(u, v)),),
+                )
+
+
+def _astar(search, max_states: int):
+    """Generic A* driver shared by the RBP and PRBP searches."""
+    start = search.initial()
+    dist: Dict = {start: 0.0}
+    parent: Dict = {start: None}
+    tie = count()
+    heap = [(search.heuristic(start), 0.0, next(tie), start)]
+    expanded = 0
+    while heap:
+        f, g, _, state = heapq.heappop(heap)
+        if g > dist.get(state, float("inf")):
+            continue
+        if search.is_goal(state):
+            return g, state, parent
+        expanded += 1
+        if expanded > max_states:
+            raise SolverError(
+                f"exhaustive search exceeded the state budget of {max_states} expanded states; "
+                "the instance is too large for an exact solution"
+            )
+        for new_state, cost, moves in search.successors(state):
+            ng = g + cost
+            if ng < dist.get(new_state, float("inf")) - 1e-12:
+                dist[new_state] = ng
+                parent[new_state] = (state, moves)
+                heapq.heappush(heap, (ng + search.heuristic(new_state), ng, next(tie), new_state))
+    raise SolverError("the search space was exhausted without reaching a terminal configuration")
+
+
+def _reconstruct(parent: Dict, goal) -> List:
+    moves: List = []
+    cur = goal
+    while parent[cur] is not None:
+        prev, mvs = parent[cur]
+        moves.extend(reversed(mvs))
+        cur = prev
+    moves.reverse()
+    return moves
+
+
+def optimal_rbp_schedule(
+    dag: ComputationalDAG,
+    r: int,
+    variant: GameVariant = ONE_SHOT,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> RBPSchedule:
+    """Compute an optimal RBP schedule by exhaustive search (small DAGs only).
+
+    Raises :class:`~repro.core.exceptions.SolverError` if no valid pebbling
+    exists for the given ``r`` or if the state budget is exceeded.
+    """
+    search = _RBPSearch(dag, r, variant, max_states)
+    cost, goal, parent = _astar(search, max_states)
+    moves = _reconstruct(parent, goal)
+    schedule = RBPSchedule(dag, r, moves, variant=variant, description="exhaustive optimum")
+    schedule.validate()
+    return schedule
+
+
+def optimal_rbp_cost(
+    dag: ComputationalDAG,
+    r: int,
+    variant: GameVariant = ONE_SHOT,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> int:
+    """``OPT_RBP(dag, r)`` computed by exhaustive search (small DAGs only)."""
+    return optimal_rbp_schedule(dag, r, variant=variant, max_states=max_states).cost()
+
+
+def optimal_prbp_schedule(
+    dag: ComputationalDAG,
+    r: int,
+    variant: GameVariant = ONE_SHOT,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> PRBPSchedule:
+    """Compute an optimal PRBP schedule by exhaustive search (small DAGs only).
+
+    Only the one-shot variant is supported; see
+    :mod:`repro.solvers.structured` and :mod:`repro.solvers.greedy` for
+    strategies on larger instances.
+    """
+    search = _PRBPSearch(dag, r, variant, max_states)
+    cost, goal, parent = _astar(search, max_states)
+    moves = _reconstruct(parent, goal)
+    schedule = PRBPSchedule(dag, r, moves, variant=variant, description="exhaustive optimum")
+    schedule.validate()
+    return schedule
+
+
+def optimal_prbp_cost(
+    dag: ComputationalDAG,
+    r: int,
+    variant: GameVariant = ONE_SHOT,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> int:
+    """``OPT_PRBP(dag, r)`` computed by exhaustive search (small DAGs only)."""
+    return optimal_prbp_schedule(dag, r, variant=variant, max_states=max_states).cost()

@@ -1,0 +1,796 @@
+"""Structured pebbling strategies: the explicit constructions analysed in the paper.
+
+Every function here emits an *explicit move list* for a specific DAG family
+and immediately replays it through the corresponding engine, so the returned
+schedule is guaranteed to be legal and its cost is the cost of an actual
+pebbling.  The families and the costs they achieve:
+
+=========================================  =============================================
+strategy                                    paper reference / achieved cost
+=========================================  =============================================
+:func:`figure1_prbp_schedule`               Prop. 4.2 / App. A.1 — cost 2 at r = 4
+:func:`figure1_rbp_schedule`                Prop. 4.2 / App. A.1 — cost 3 at r = 4
+:func:`chained_gadget_prbp_schedule`        Prop. 4.7 — cost 2 at r = 4 for any number of copies
+:func:`matvec_prbp_schedule`                Prop. 4.3 — cost m² + 2m at r = m + 3
+:func:`zipper_prbp_schedule`                Prop. 4.4 — ≈ 2 I/O per chain node at r = d + 2
+:func:`zipper_rbp_schedule`                 Prop. 4.4 — d I/O per chain node at r = d + 2
+:func:`tree_rbp_schedule`                   Prop. 4.5 / App. A.2 — k^d + 2k^{d-1} − 1 at r = k + 1
+:func:`tree_prbp_schedule`                  Prop. 4.5 / App. A.2 — k^d + 2k^{d-k} − 1 at r = k + 1
+:func:`collection_full_rbp_schedule`        Prop. 4.6 — trivial cost with d + 2 pebbles
+:func:`collection_full_prbp_schedule`       Prop. 4.6 — trivial cost with d + 2 pebbles
+:func:`fanin_groups_prbp_schedule`          Lemma 5.4 — trivial cost at r = 3
+:func:`fft_blocked_rbp_schedule`            Thm. 6.9 — O(m·log m / log r) upper bound
+:func:`matmul_tiled_prbp_schedule`          Thm. 6.10 — O(m1·m2·m3 / √r) upper bound
+:func:`attention_flash_prbp_schedule`       Thm. 6.11 — O(m²·d²/r) non-trivial I/O in the large-cache regime
+=========================================  =============================================
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.dag import ComputationalDAG
+from ..core.exceptions import SolverError
+from ..core.moves import MoveKind, PRBPMove, RBPMove
+from ..core.strategy import PRBPSchedule, RBPSchedule
+from ..core.variants import ONE_SHOT, GameVariant
+from ..dags.attention import AttentionInstance, attention_instance
+from ..dags.fanin import FanInGroupsInstance, fanin_groups_instance
+from ..dags.fft import FFTInstance, fft_instance
+from ..dags.gadgets import (
+    ChainedGadgetInstance,
+    Figure1Instance,
+    PebbleCollectionInstance,
+    ZipperInstance,
+    chained_gadget_instance,
+    figure1_instance,
+    pebble_collection_instance,
+    zipper_instance,
+)
+from ..dags.linalg import MatMulInstance, MatVecInstance, matmul_instance, matvec_instance
+from ..dags.trees import TreeInstance, kary_tree_instance
+
+__all__ = [
+    "figure1_prbp_schedule",
+    "figure1_rbp_schedule",
+    "chained_gadget_prbp_schedule",
+    "matvec_prbp_schedule",
+    "zipper_prbp_schedule",
+    "zipper_rbp_schedule",
+    "tree_rbp_schedule",
+    "tree_prbp_schedule",
+    "collection_full_rbp_schedule",
+    "collection_full_prbp_schedule",
+    "fanin_groups_prbp_schedule",
+    "fft_blocked_rbp_schedule",
+    "fft_blocked_prbp_schedule",
+    "matmul_tiled_prbp_schedule",
+    "attention_flash_prbp_schedule",
+]
+
+
+def _load(v: int) -> PRBPMove:
+    return PRBPMove(MoveKind.LOAD, node=v)
+
+
+def _save(v: int) -> PRBPMove:
+    return PRBPMove(MoveKind.SAVE, node=v)
+
+
+def _comp(u: int, v: int) -> PRBPMove:
+    return PRBPMove(MoveKind.COMPUTE, edge=(u, v))
+
+
+def _dele(v: int) -> PRBPMove:
+    return PRBPMove(MoveKind.DELETE, node=v)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 1 (Proposition 4.2 / Appendix A.1)
+# --------------------------------------------------------------------------- #
+
+
+def figure1_prbp_schedule(inst: Optional[Figure1Instance] = None, r: int = 4) -> PRBPSchedule:
+    """The Appendix A.1 PRBP strategy for the Figure 1 DAG: 2 I/O steps at ``r = 4``."""
+    if inst is None:
+        inst = figure1_instance(include_endpoints=True)
+    if not inst.include_endpoints or inst.has_z_layer or inst.has_w0:
+        raise ValueError("the A.1 strategy targets the plain Figure 1 DAG with endpoints")
+    g = inst
+    moves = [
+        _load(g.u0),
+        _comp(g.u0, g.u1),
+        _comp(g.u0, g.u2),
+        _dele(g.u0),
+        _comp(g.u1, g.w1),
+        _comp(g.w1, g.w3),
+        _dele(g.w1),
+        _comp(g.u1, g.w2),
+        _comp(g.w2, g.w3),
+        _dele(g.w2),
+        _comp(g.u1, g.w4),
+        _comp(g.w3, g.w4),
+        _dele(g.u1),
+        _dele(g.w3),
+        _comp(g.w4, g.v1),
+        _comp(g.w4, g.v2),
+        _comp(g.u2, g.v1),
+        _comp(g.u2, g.v2),
+        _dele(g.w4),
+        _dele(g.u2),
+        _comp(g.v1, g.v0),
+        _comp(g.v2, g.v0),
+        _save(g.v0),
+    ]
+    schedule = PRBPSchedule(g.dag, r, moves, description="Appendix A.1 PRBP strategy")
+    schedule.validate()
+    return schedule
+
+
+def figure1_rbp_schedule(inst: Optional[Figure1Instance] = None, r: int = 4) -> RBPSchedule:
+    """The Appendix A.1 RBP strategy for the Figure 1 DAG: 3 I/O steps at ``r = 4``."""
+    if inst is None:
+        inst = figure1_instance(include_endpoints=True)
+    if not inst.include_endpoints or inst.has_z_layer or inst.has_w0:
+        raise ValueError("the A.1 strategy targets the plain Figure 1 DAG with endpoints")
+    g = inst
+    L, C, D, S = (
+        lambda v: RBPMove(MoveKind.LOAD, v),
+        lambda v: RBPMove(MoveKind.COMPUTE, v),
+        lambda v: RBPMove(MoveKind.DELETE, v),
+        lambda v: RBPMove(MoveKind.SAVE, v),
+    )
+    moves = [
+        L(g.u0),
+        C(g.u1),
+        D(g.u0),
+        C(g.w1),
+        C(g.w2),
+        C(g.w3),
+        D(g.w1),
+        D(g.w2),
+        C(g.w4),
+        D(g.w3),
+        D(g.u1),
+        L(g.u0),
+        C(g.u2),
+        D(g.u0),
+        C(g.v1),
+        C(g.v2),
+        D(g.w4),
+        D(g.u2),
+        C(g.v0),
+        S(g.v0),
+    ]
+    schedule = RBPSchedule(g.dag, r, moves, description="Appendix A.1 RBP strategy")
+    schedule.validate()
+    return schedule
+
+
+# --------------------------------------------------------------------------- #
+# Chained gadget (Proposition 4.7)
+# --------------------------------------------------------------------------- #
+
+
+def chained_gadget_prbp_schedule(
+    inst: Optional[ChainedGadgetInstance] = None, copies: int = 4, r: int = 4
+) -> PRBPSchedule:
+    """The Proposition 4.7 PRBP strategy: total cost 2 regardless of the number of copies."""
+    if inst is None:
+        inst = chained_gadget_instance(copies)
+    if r < 4:
+        raise SolverError("the Proposition 4.7 strategy needs r >= 4")
+    moves: List[PRBPMove] = []
+    first = inst.gadget_nodes[0]
+    moves += [
+        _load(inst.u0),
+        _comp(inst.u0, first["u1"]),
+        _comp(inst.u0, first["u2"]),
+        _dele(inst.u0),
+    ]
+    for g in inst.gadget_nodes:
+        u1, u2 = g["u1"], g["u2"]
+        w1, w2, w3, w4 = g["w1"], g["w2"], g["w3"], g["w4"]
+        v1, v2 = g["v1"], g["v2"]
+        moves += [
+            _comp(u1, w1),
+            _comp(w1, w3),
+            _dele(w1),
+            _comp(u1, w2),
+            _comp(w2, w3),
+            _dele(w2),
+            _comp(u1, w4),
+            _comp(w3, w4),
+            _dele(w3),
+            _dele(u1),
+            _comp(w4, v1),
+            _comp(w4, v2),
+            _comp(u2, v1),
+            _comp(u2, v2),
+            _dele(w4),
+            _dele(u2),
+        ]
+    last = inst.gadget_nodes[-1]
+    moves += [
+        _comp(last["v1"], inst.v0),
+        _comp(last["v2"], inst.v0),
+        _dele(last["v1"]),
+        _dele(last["v2"]),
+        _save(inst.v0),
+    ]
+    schedule = PRBPSchedule(
+        inst.dag, r, moves, description=f"Proposition 4.7 PRBP strategy ({inst.copies} copies)"
+    )
+    schedule.validate()
+    return schedule
+
+
+# --------------------------------------------------------------------------- #
+# Matrix–vector multiplication (Proposition 4.3)
+# --------------------------------------------------------------------------- #
+
+
+def matvec_prbp_schedule(inst: Optional[MatVecInstance] = None, m: int = 4, r: Optional[int] = None) -> PRBPSchedule:
+    """The Proposition 4.3 PRBP strategy for ``A·x``: trivial cost ``m² + 2m`` at ``r = m + 3``.
+
+    The ``m`` partially computed output entries are kept in fast memory for
+    the whole pebbling; the matrix is streamed column by column and every
+    entry is read exactly once.
+    """
+    if inst is None:
+        inst = matvec_instance(m)
+    m = inst.m
+    if r is None:
+        r = m + 3
+    if r < m + 3:
+        raise SolverError(f"the Proposition 4.3 strategy needs r >= m + 3 = {m + 3}, got {r}")
+    moves: List[PRBPMove] = []
+    for i in range(m):
+        xi = inst.x(i)
+        moves.append(_load(xi))
+        for j in range(m):
+            a = inst.a(j, i)
+            p = inst.product(j, i)
+            moves += [
+                _load(a),
+                _comp(a, p),
+                _comp(xi, p),
+                _dele(a),
+                _comp(p, inst.y(j)),
+                _dele(p),
+            ]
+        moves.append(_dele(xi))
+    for j in range(m):
+        moves.append(_save(inst.y(j)))
+    schedule = PRBPSchedule(
+        inst.dag, r, moves, description="Proposition 4.3 column-streaming PRBP strategy"
+    )
+    schedule.validate()
+    return schedule
+
+
+# --------------------------------------------------------------------------- #
+# Zipper gadget (Proposition 4.4)
+# --------------------------------------------------------------------------- #
+
+
+def zipper_prbp_schedule(inst: Optional[ZipperInstance] = None, d: int = 3, length: int = 8, r: Optional[int] = None) -> PRBPSchedule:
+    """The Proposition 4.4 PRBP strategy for the zipper gadget at ``r = d + 2``.
+
+    Phase 1 holds group A and pre-aggregates (and saves) the A-contribution
+    of every even chain node; phase 2 holds group B and walks the chain,
+    re-loading each pre-aggregated partial value.  Each chain node beyond the
+    first costs roughly 2 I/O operations instead of RBP's ``d``.
+    """
+    if inst is None:
+        inst = zipper_instance(d, length)
+    d, length = inst.d, inst.length
+    if r is None:
+        r = d + 2
+    if r < d + 2:
+        raise SolverError(f"the zipper strategy needs r >= d + 2 = {d + 2}, got {r}")
+    moves: List[PRBPMove] = []
+    # phase 1: group A resident, pre-aggregate every even chain node
+    for a in inst.group_a:
+        moves.append(_load(a))
+    for i in range(0, length, 2):
+        c = inst.chain[i]
+        for a in inst.group_a:
+            moves.append(_comp(a, c))
+        moves.append(_save(c))
+        moves.append(_dele(c))
+    for a in inst.group_a:
+        moves.append(_dele(a))
+    # phase 2: group B resident, walk the chain
+    for b in inst.group_b:
+        moves.append(_load(b))
+    prev = None
+    for i in range(length):
+        c = inst.chain[i]
+        if i % 2 == 0:
+            # partial value (all A-edges) is in slow memory
+            moves.append(_load(c))
+            if prev is not None:
+                moves.append(_comp(prev, c))
+        else:
+            moves.append(_comp(prev, c))
+            for b in inst.group_b:
+                moves.append(_comp(b, c))
+        if prev is not None:
+            moves.append(_dele(prev))
+        prev = c
+    moves.append(_save(prev))
+    moves.append(_dele(prev))
+    for b in inst.group_b:
+        moves.append(_dele(b))
+    schedule = PRBPSchedule(
+        inst.dag, r, moves, description="Proposition 4.4 two-phase PRBP strategy"
+    )
+    schedule.validate()
+    return schedule
+
+
+def zipper_rbp_schedule(inst: Optional[ZipperInstance] = None, d: int = 3, length: int = 8, r: Optional[int] = None) -> RBPSchedule:
+    """The classic RBP pebbling of the zipper gadget at ``r = d + 2``: ``d`` loads per chain node.
+
+    The strategy alternates the resident source group, reloading all ``d``
+    sources of the other group for every chain node.
+    """
+    if inst is None:
+        inst = zipper_instance(d, length)
+    d, length = inst.d, inst.length
+    if r is None:
+        r = d + 2
+    if r < d + 2:
+        raise SolverError(f"the zipper RBP strategy needs r >= d + 2 = {d + 2}, got {r}")
+    L, C, D, S = (
+        lambda v: RBPMove(MoveKind.LOAD, v),
+        lambda v: RBPMove(MoveKind.COMPUTE, v),
+        lambda v: RBPMove(MoveKind.DELETE, v),
+        lambda v: RBPMove(MoveKind.SAVE, v),
+    )
+    moves: List[RBPMove] = []
+    prev = None
+    resident: Tuple[int, ...] = ()
+    for i in range(length):
+        c = inst.chain[i]
+        group = inst.group_for(i)
+        if group != resident:
+            for v in resident:
+                moves.append(D(v))
+            for v in group:
+                moves.append(L(v))
+            resident = group
+        moves.append(C(c))
+        if prev is not None:
+            moves.append(D(prev))
+        prev = c
+    moves.append(S(prev))
+    schedule = RBPSchedule(
+        inst.dag, r, moves, description="alternating-group RBP strategy for the zipper gadget"
+    )
+    schedule.validate()
+    return schedule
+
+
+# --------------------------------------------------------------------------- #
+# k-ary reduction trees (Proposition 4.5 / Appendix A.2)
+# --------------------------------------------------------------------------- #
+
+
+def tree_rbp_schedule(inst: Optional[TreeInstance] = None, k: int = 2, depth: int = 3, r: Optional[int] = None) -> RBPSchedule:
+    """The optimal RBP pebbling of a k-ary tree at ``r = k + 1`` (Appendix A.2).
+
+    For every internal node above the leaves' parents, ``k - 1`` of its
+    children are saved and re-loaded, giving the closed-form cost
+    ``k^d + 2·k^(d-1) - 1``.
+    """
+    if inst is None:
+        inst = kary_tree_instance(k, depth)
+    k, depth = inst.k, inst.depth
+    if r is None:
+        r = k + 1
+    if r < k + 1:
+        raise SolverError(f"the tree RBP strategy needs r >= k + 1 = {k + 1}, got {r}")
+    moves: List[RBPMove] = []
+    L, C, D, S = (
+        lambda v: RBPMove(MoveKind.LOAD, v),
+        lambda v: RBPMove(MoveKind.COMPUTE, v),
+        lambda v: RBPMove(MoveKind.DELETE, v),
+        lambda v: RBPMove(MoveKind.SAVE, v),
+    )
+
+    def pebble(level: int, index: int) -> None:
+        """Emit moves that end with node ``levels[level][index]`` red and nothing else held."""
+        v = inst.levels[level][index]
+        if level == depth:
+            moves.append(L(v))
+            return
+        children_indices = list(range(k * index, k * index + k))
+        if level == depth - 1:
+            # parent of leaves: all children fit simultaneously
+            for ci in children_indices:
+                moves.append(L(inst.levels[depth][ci]))
+            moves.append(C(v))
+            for ci in children_indices:
+                moves.append(D(inst.levels[depth][ci]))
+            return
+        # higher node: compute the first k-1 child subtrees, saving each result
+        for ci in children_indices[:-1]:
+            pebble(level + 1, ci)
+            c = inst.levels[level + 1][ci]
+            moves.append(S(c))
+            moves.append(D(c))
+        pebble(level + 1, children_indices[-1])
+        for ci in children_indices[:-1]:
+            moves.append(L(inst.levels[level + 1][ci]))
+        moves.append(C(v))
+        for ci in children_indices:
+            moves.append(D(inst.levels[level + 1][ci]))
+
+    pebble(0, 0)
+    moves.append(S(inst.root))
+    schedule = RBPSchedule(
+        inst.dag, r, moves, description="Appendix A.2 RBP strategy for k-ary trees"
+    )
+    schedule.validate()
+    return schedule
+
+
+def tree_prbp_schedule(inst: Optional[TreeInstance] = None, k: int = 2, depth: int = 3, r: Optional[int] = None) -> PRBPSchedule:
+    """The optimal PRBP pebbling of a k-ary tree at ``r = k + 1`` (Appendix A.2).
+
+    Subtrees of depth at most ``k`` are computed without any non-trivial I/O
+    using partial computations; every node above them costs ``2·(k-1)`` I/O,
+    giving the closed-form cost ``k^d + 2·k^(d-k) - 1``.
+    """
+    if inst is None:
+        inst = kary_tree_instance(k, depth)
+    k, depth = inst.k, inst.depth
+    if r is None:
+        r = k + 1
+    if r < k + 1:
+        raise SolverError(f"the tree PRBP strategy needs r >= k + 1 = {k + 1}, got {r}")
+    moves: List[PRBPMove] = []
+
+    def pebble_free(level: int, index: int) -> None:
+        """Pebble a depth <= k subtree with partial computations only (no I/O beyond leaf loads)."""
+        v = inst.levels[level][index]
+        if level == depth:
+            moves.append(_load(v))
+            return
+        for ci in range(k * index, k * index + k):
+            pebble_free(level + 1, ci)
+            c = inst.levels[level + 1][ci]
+            moves.append(_comp(c, v))
+            moves.append(_dele(c))
+
+    def pebble(level: int, index: int) -> None:
+        """Emit moves that end with the node dark red and nothing else held."""
+        v = inst.levels[level][index]
+        subtree_depth = depth - level
+        if subtree_depth <= k:
+            pebble_free(level, index)
+            return
+        children_indices = list(range(k * index, k * index + k))
+        # compute the first k-1 children, saving each result to slow memory
+        for ci in children_indices[:-1]:
+            pebble(level + 1, ci)
+            c = inst.levels[level + 1][ci]
+            moves.append(_save(c))
+            moves.append(_dele(c))
+        # compute the last child and aggregate the children one at a time
+        pebble(level + 1, children_indices[-1])
+        last = inst.levels[level + 1][children_indices[-1]]
+        moves.append(_comp(last, v))
+        moves.append(_dele(last))
+        for ci in children_indices[:-1]:
+            c = inst.levels[level + 1][ci]
+            moves.append(_load(c))
+            moves.append(_comp(c, v))
+            moves.append(_dele(c))
+
+    pebble(0, 0)
+    moves.append(_save(inst.root))
+    moves.append(_dele(inst.root))
+    schedule = PRBPSchedule(
+        inst.dag, r, moves, description="Appendix A.2 PRBP strategy for k-ary trees"
+    )
+    schedule.validate()
+    return schedule
+
+
+# --------------------------------------------------------------------------- #
+# Pebble collection gadget (Proposition 4.6)
+# --------------------------------------------------------------------------- #
+
+
+def collection_full_rbp_schedule(
+    inst: Optional[PebbleCollectionInstance] = None, d: int = 3, length: int = 12, r: Optional[int] = None
+) -> RBPSchedule:
+    """Pebble the collection gadget with all ``d + 2`` red pebbles: only the trivial cost."""
+    if inst is None:
+        inst = pebble_collection_instance(d, length)
+    d, length = inst.d, inst.length
+    if r is None:
+        r = d + 2
+    if r < d + 2:
+        raise SolverError(f"the full-pebble strategy needs r >= d + 2 = {d + 2}, got {r}")
+    L, C, D, S = (
+        lambda v: RBPMove(MoveKind.LOAD, v),
+        lambda v: RBPMove(MoveKind.COMPUTE, v),
+        lambda v: RBPMove(MoveKind.DELETE, v),
+        lambda v: RBPMove(MoveKind.SAVE, v),
+    )
+    moves: List[RBPMove] = [L(u) for u in inst.sources]
+    prev = None
+    for i in range(length):
+        c = inst.chain[i]
+        moves.append(C(c))
+        if prev is not None:
+            moves.append(D(prev))
+        prev = c
+    moves.append(S(prev))
+    schedule = RBPSchedule(
+        inst.dag, r, moves, description="full-pebble RBP strategy for the collection gadget"
+    )
+    schedule.validate()
+    return schedule
+
+
+def collection_full_prbp_schedule(
+    inst: Optional[PebbleCollectionInstance] = None, d: int = 3, length: int = 12, r: Optional[int] = None
+) -> PRBPSchedule:
+    """Pebble the collection gadget in PRBP with all ``d + 2`` red pebbles: only the trivial cost."""
+    if inst is None:
+        inst = pebble_collection_instance(d, length)
+    d, length = inst.d, inst.length
+    if r is None:
+        r = d + 2
+    if r < d + 2:
+        raise SolverError(f"the full-pebble strategy needs r >= d + 2 = {d + 2}, got {r}")
+    moves: List[PRBPMove] = [_load(u) for u in inst.sources]
+    prev = None
+    for i in range(length):
+        c = inst.chain[i]
+        if prev is not None:
+            moves.append(_comp(prev, c))
+            moves.append(_dele(prev))
+        moves.append(_comp(inst.source_for(i), c))
+        prev = c
+    moves.append(_save(prev))
+    moves.append(_dele(prev))
+    for u in inst.sources:
+        moves.append(_dele(u))
+    schedule = PRBPSchedule(
+        inst.dag, r, moves, description="full-pebble PRBP strategy for the collection gadget"
+    )
+    schedule.validate()
+    return schedule
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 5.4 fan-in construction
+# --------------------------------------------------------------------------- #
+
+
+def fanin_groups_prbp_schedule(
+    inst: Optional[FanInGroupsInstance] = None, num_groups: int = 7, group_size: int = 10, r: int = 3
+) -> PRBPSchedule:
+    """The Lemma 5.4 PRBP strategy: trivial cost ``num_groups + 1`` with only 3 red pebbles."""
+    if inst is None:
+        inst = fanin_groups_instance(num_groups, group_size)
+    if r < 3:
+        raise SolverError(f"the Lemma 5.4 strategy needs r >= 3, got {r}")
+    moves: List[PRBPMove] = []
+    sink = inst.sink
+    for gi, u in enumerate(inst.sources):
+        moves.append(_load(u))
+        for w in inst.groups[gi]:
+            moves.append(_comp(u, w))
+            moves.append(_comp(w, sink))
+            moves.append(_dele(w))
+        moves.append(_dele(u))
+    moves.append(_save(sink))
+    moves.append(_dele(sink))
+    schedule = PRBPSchedule(
+        inst.dag, r, moves, description="Lemma 5.4 group-streaming PRBP strategy"
+    )
+    schedule.validate()
+    return schedule
+
+
+# --------------------------------------------------------------------------- #
+# FFT (Theorem 6.9)
+# --------------------------------------------------------------------------- #
+
+
+def fft_blocked_rbp_schedule(inst: Optional[FFTInstance] = None, m: int = 16, r: int = 8) -> RBPSchedule:
+    """Blocked RBP pebbling of the butterfly DAG: ``O(m·log m / log r)`` I/O.
+
+    The DAG is cut into super-levels of ``s = floor(log2 r) - 1`` butterfly
+    levels; the lanes of each super-level decompose into independent groups
+    of ``2^s`` nodes per level which fit in fast memory (``2^{s+1} <= r``).
+    Each group is loaded once and saved once per super-level, which is the
+    classical ``2m`` I/O per ``s`` levels.
+    """
+    if inst is None:
+        inst = fft_instance(m)
+    m = inst.m
+    if r < 4:
+        raise SolverError(f"the blocked FFT strategy needs r >= 4, got {r}")
+    s = max(1, r.bit_length() - 2)  # largest s with 2^(s+1) <= r
+    while (1 << (s + 1)) > r:
+        s -= 1
+    L, C, D, S = (
+        lambda v: RBPMove(MoveKind.LOAD, v),
+        lambda v: RBPMove(MoveKind.COMPUTE, v),
+        lambda v: RBPMove(MoveKind.DELETE, v),
+        lambda v: RBPMove(MoveKind.SAVE, v),
+    )
+    moves: List[RBPMove] = []
+    levels = inst.levels
+    t0 = 0
+    while t0 < levels:
+        span = min(s, levels - t0)
+        width = 1 << span
+        # lane groups: lanes agreeing on all bits except bits t0 .. t0+span-1
+        group_mask = (width - 1) << t0
+        bases = [j for j in range(m) if (j & group_mask) == 0]
+        for base in bases:
+            lanes = [base | (x << t0) for x in range(width)]
+            for j in lanes:
+                moves.append(L(inst.node(t0, j)))
+            for t in range(t0 + 1, t0 + span + 1):
+                for j in lanes:
+                    moves.append(C(inst.node(t, j)))
+                for j in lanes:
+                    moves.append(D(inst.node(t - 1, j)))
+            for j in lanes:
+                moves.append(S(inst.node(t0 + span, j)))
+                moves.append(D(inst.node(t0 + span, j)))
+        t0 += span
+    schedule = RBPSchedule(
+        inst.dag, r, moves, description=f"blocked RBP strategy ({s} levels per pass)"
+    )
+    schedule.validate()
+    return schedule
+
+
+def fft_blocked_prbp_schedule(inst: Optional[FFTInstance] = None, m: int = 16, r: int = 8) -> PRBPSchedule:
+    """The blocked FFT strategy converted to PRBP (Proposition 4.1): identical I/O cost."""
+    from ..core.conversion import convert_rbp_to_prbp
+
+    rbp_schedule = fft_blocked_rbp_schedule(inst, m, r)
+    prbp_schedule = convert_rbp_to_prbp(rbp_schedule)
+    prbp_schedule.validate()
+    return prbp_schedule
+
+
+# --------------------------------------------------------------------------- #
+# Matrix multiplication (Theorem 6.10)
+# --------------------------------------------------------------------------- #
+
+
+def matmul_tiled_prbp_schedule(
+    inst: Optional[MatMulInstance] = None,
+    m1: int = 4,
+    m2: int = 4,
+    m3: int = 4,
+    r: int = 16,
+) -> PRBPSchedule:
+    """Tiled (outer-product) PRBP pebbling of matmul: ``O(m1·m2·m3/√r)`` I/O.
+
+    A ``b × b`` block of ``C`` is kept in fast memory as dark-red partial
+    values (``b = ⌊√r⌋ - 1``); for every inner index ``k`` the relevant
+    column of ``A`` and row of ``B`` are streamed through fast memory.  This
+    is exactly the outer-product formulation the paper points to (BLIS-style
+    micro-kernels, Section 8.2).
+    """
+    if inst is None:
+        inst = matmul_instance(m1, m2, m3)
+    m1, m2, m3 = inst.m1, inst.m2, inst.m3
+    b = int(math.isqrt(r)) - 1
+    while b > 1 and b * b + 2 * b + 1 > r:
+        b -= 1
+    if b < 1 or b * b + 2 * b + 1 > r:
+        raise SolverError(f"the tiled matmul strategy needs r >= 4, got {r}")
+    moves: List[PRBPMove] = []
+    for i0 in range(0, m1, b):
+        bi = min(b, m1 - i0)
+        for j0 in range(0, m3, b):
+            bj = min(b, m3 - j0)
+            for k in range(m2):
+                a_nodes = [inst.a(i, k) for i in range(i0, i0 + bi)]
+                b_nodes = [inst.b(k, j) for j in range(j0, j0 + bj)]
+                for a in a_nodes:
+                    moves.append(_load(a))
+                for bn in b_nodes:
+                    moves.append(_load(bn))
+                for i in range(i0, i0 + bi):
+                    for j in range(j0, j0 + bj):
+                        p = inst.product(i, k, j)
+                        moves += [
+                            _comp(inst.a(i, k), p),
+                            _comp(inst.b(k, j), p),
+                            _comp(p, inst.c(i, j)),
+                            _dele(p),
+                        ]
+                for a in a_nodes:
+                    moves.append(_dele(a))
+                for bn in b_nodes:
+                    moves.append(_dele(bn))
+            for i in range(i0, i0 + bi):
+                for j in range(j0, j0 + bj):
+                    moves.append(_save(inst.c(i, j)))
+                    moves.append(_dele(inst.c(i, j)))
+    schedule = PRBPSchedule(
+        inst.dag, r, moves, description=f"outer-product tiled PRBP strategy (block {b})"
+    )
+    schedule.validate()
+    return schedule
+
+
+# --------------------------------------------------------------------------- #
+# Attention (Theorem 6.11)
+# --------------------------------------------------------------------------- #
+
+
+def attention_flash_prbp_schedule(
+    inst: Optional[AttentionInstance] = None,
+    m: int = 8,
+    d: int = 2,
+    r: Optional[int] = None,
+) -> PRBPSchedule:
+    """Flash-attention-style tiled PRBP pebbling of the ``Q·Kᵀ`` + exp DAG.
+
+    A block of ``bi`` rows of ``Q`` stays resident (``bi·d`` values); the
+    columns of ``Kᵀ`` are streamed once per row block, so the matrix-product
+    traffic is ``m·d + m²·d/bi ≈ m·d + m²·d²/r`` loads — the large-cache
+    behaviour matched by the Theorem 6.11 lower bound.  The ``m²``
+    exponentiated scores are sinks of this (truncated) DAG and account for an
+    additional, unavoidable ``m²`` saves of trivial cost.
+    """
+    if inst is None:
+        inst = attention_instance(m, d)
+    if inst.include_softmax:
+        raise SolverError("the flash-style strategy targets the truncated attention DAG")
+    m, d = inst.m, inst.d
+    if r is None:
+        r = max(d * d, d + 4) + d + 4
+    bi = max(1, (r - d - 3) // d)
+    bi = min(bi, m)
+    if bi * d + d + 3 > r:
+        raise SolverError(f"the flash-style strategy needs r >= 2d + 4, got r = {r} for d = {d}")
+    moves: List[PRBPMove] = []
+    for i0 in range(0, m, bi):
+        rows = range(i0, min(i0 + bi, m))
+        q_nodes = [inst.q(i, k) for i in rows for k in range(d)]
+        for q in q_nodes:
+            moves.append(_load(q))
+        for j in range(m):
+            kt_nodes = [inst.kt(k, j) for k in range(d)]
+            for kt in kt_nodes:
+                moves.append(_load(kt))
+            for i in rows:
+                s = inst.score(i, j)
+                for k in range(d):
+                    p = inst.product(i, j, k)
+                    moves += [
+                        _comp(inst.q(i, k), p),
+                        _comp(inst.kt(k, j), p),
+                        _comp(p, s),
+                        _dele(p),
+                    ]
+                e = inst.exp(i, j)
+                moves += [_comp(s, e), _dele(s), _save(e), _dele(e)]
+            for kt in kt_nodes:
+                moves.append(_dele(kt))
+        for q in q_nodes:
+            moves.append(_dele(q))
+    schedule = PRBPSchedule(
+        inst.dag, r, moves, description=f"flash-style tiled PRBP strategy (row block {bi})"
+    )
+    schedule.validate()
+    return schedule

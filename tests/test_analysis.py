@@ -1,0 +1,60 @@
+"""Tests for the analysis helpers (comparison harness, sweeps, reporting)."""
+
+import pytest
+
+from repro.analysis.comparison import ModelComparison, compare_models
+from repro.analysis.reporting import format_markdown_table, format_table
+from repro.analysis.sweep import run_sweep
+from repro.dags import binary_tree_instance, chained_gadget_instance, figure1_gadget
+
+
+class TestComparison:
+    def test_figure1_exact_comparison(self):
+        cmp = compare_models(figure1_gadget(), r=4)
+        assert cmp.rbp_cost == 3 and cmp.rbp_exact
+        assert cmp.prbp_cost == 2 and cmp.prbp_exact
+        assert cmp.gap == 1
+        assert cmp.prbp_strictly_better
+        assert cmp.trivial_cost == 2
+
+    def test_large_dag_falls_back_to_greedy(self):
+        inst = chained_gadget_instance(10)
+        cmp = compare_models(inst.dag, r=4)
+        assert not cmp.rbp_exact and not cmp.prbp_exact
+        assert cmp.prbp_cost is not None and cmp.rbp_cost is not None
+        assert cmp.prbp_cost >= inst.dag.trivial_cost()
+
+    def test_infeasible_rbp_reports_none(self):
+        inst = binary_tree_instance(2)
+        cmp = compare_models(inst.dag, r=2)  # RBP needs r >= 3, PRBP works with 2
+        assert cmp.rbp_cost is None
+        assert cmp.prbp_cost is not None
+
+    def test_gap_none_when_side_missing(self):
+        cmp = ModelComparison("x", 3, 2, 2, None, False, 4, True)
+        assert cmp.gap is None and cmp.prbp_strictly_better is None
+
+
+class TestSweepAndReporting:
+    def test_run_sweep_collects_rows(self):
+        result = run_sweep(
+            ["m"],
+            [(2,), (3,), (4,)],
+            {"square": lambda m: m * m, "double": lambda m: 2 * m},
+        )
+        assert len(result) == 3
+        assert result.column("square") == [4, 9, 16]
+        table = result.as_table(title="demo")
+        assert "demo" in table and "square" in table
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_markdown_table(self):
+        md = format_markdown_table(["x", "y"], [[1, 2]])
+        assert md.splitlines()[0] == "| x | y |"
+        assert md.splitlines()[1] == "|---|---|"
+        assert "| 1 | 2 |" in md

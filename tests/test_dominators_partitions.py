@@ -1,0 +1,208 @@
+"""Tests for dominator/terminal sets and the three partition concepts."""
+
+import pytest
+
+from repro.bounds.dominators import (
+    edge_start_set,
+    edge_terminal_set,
+    is_dominator,
+    is_edge_dominator,
+    minimum_dominator_size,
+    minimum_edge_dominator_size,
+    terminal_set,
+)
+from repro.bounds.partitions import (
+    SDominatorPartition,
+    SEdgePartition,
+    SPartition,
+    dominator_partition_from_prbp_schedule,
+    edge_partition_from_prbp_schedule,
+    spartition_from_rbp_schedule,
+)
+from repro.core.dag import ComputationalDAG
+from repro.core.exceptions import PartitionError
+from repro.dags import (
+    binary_tree_instance,
+    fanin_groups_instance,
+    figure1_instance,
+    random_layered_dag,
+    zipper_instance,
+)
+from repro.solvers.exhaustive import optimal_prbp_schedule, optimal_rbp_schedule
+from repro.solvers.greedy import greedy_rbp_schedule, topological_prbp_schedule
+from repro.solvers.structured import (
+    figure1_prbp_schedule,
+    figure1_rbp_schedule,
+    matvec_prbp_schedule,
+    tree_prbp_schedule,
+    zipper_prbp_schedule,
+)
+
+
+def diamond() -> ComputationalDAG:
+    return ComputationalDAG(4, [(0, 1), (0, 2), (1, 3), (2, 3)], name="diamond")
+
+
+class TestDominators:
+    def test_source_dominates_everything_below(self):
+        dag = diamond()
+        assert is_dominator(dag, {0}, {1, 2, 3})
+        assert is_dominator(dag, {0}, {3})
+
+    def test_target_can_cover_itself(self):
+        dag = diamond()
+        assert is_dominator(dag, {3}, {3})
+        assert is_dominator(dag, {1, 2}, {3})
+
+    def test_uncovered_source_target(self):
+        dag = diamond()
+        # the empty path from source 0 to itself avoids {1, 2, 3}
+        assert not is_dominator(dag, {1, 2, 3}, {0})
+        assert is_dominator(dag, {0}, {0})
+
+    def test_not_a_dominator(self):
+        dag = diamond()
+        assert not is_dominator(dag, {1}, {3})  # the path through 2 is uncovered
+
+    def test_minimum_dominator_size(self):
+        dag = diamond()
+        assert minimum_dominator_size(dag, {3}) == 1  # {0} or {3}
+        assert minimum_dominator_size(dag, {1, 2}) == 1  # {0}
+        assert minimum_dominator_size(dag, set()) == 0
+
+    def test_minimum_dominator_on_fanin(self):
+        inst = fanin_groups_instance(num_groups=4, group_size=3)
+        # dominating the sink needs all 4 sources (or the sink itself): minimum is 1 (the sink)
+        assert minimum_dominator_size(inst.dag, {inst.sink}) == 1
+        # dominating one full group needs its source or the whole group
+        assert minimum_dominator_size(inst.dag, set(inst.groups[0])) == 1
+        # dominating one node from each group plus the sink requires 5 nodes? no:
+        # the 4 sources dominate everything
+        targets = {g[0] for g in inst.groups}
+        assert minimum_dominator_size(inst.dag, targets) == 4
+
+    def test_terminal_set(self):
+        dag = diamond()
+        assert terminal_set(dag, {0, 1, 2, 3}) == frozenset({3})
+        assert terminal_set(dag, {1, 2}) == frozenset({1, 2})
+        assert terminal_set(dag, {0, 1}) == frozenset({1})
+
+    def test_edge_concepts(self):
+        dag = diamond()
+        e = [(0, 1), (1, 3)]
+        assert edge_start_set(e) == frozenset({0, 1})
+        assert is_edge_dominator(dag, {0}, e)
+        assert not is_edge_dominator(dag, {2}, e)
+        # node 1 has an in-edge in E0 and an out-edge in E0 -> not edge-terminal;
+        # node 3 has an in-edge in E0 and no out-edge at all -> edge-terminal
+        assert edge_terminal_set(dag, e) == frozenset({3})
+        assert minimum_edge_dominator_size(dag, e) == 1
+
+    def test_edge_terminal_differs_from_terminal(self):
+        # the paper's example after Definition 6.2: both an internal node and
+        # its successor can be edge-terminal simultaneously
+        dag = ComputationalDAG(4, [(0, 1), (1, 2), (3, 2)])
+        e0 = [(0, 1), (3, 2)]
+        assert edge_terminal_set(dag, e0) == frozenset({1, 2})
+
+
+class TestPartitionVerification:
+    def test_valid_single_class_partition(self):
+        dag = diamond()
+        SPartition(dag=dag, s=2, classes=[[0, 1, 2, 3]]).verify()
+
+    def test_missing_node_rejected(self):
+        dag = diamond()
+        with pytest.raises(PartitionError):
+            SPartition(dag=dag, s=4, classes=[[0, 1, 2]]).verify()
+
+    def test_duplicate_node_rejected(self):
+        dag = diamond()
+        with pytest.raises(PartitionError):
+            SPartition(dag=dag, s=4, classes=[[0, 1], [1, 2, 3]]).verify()
+
+    def test_cyclic_class_order_rejected(self):
+        dag = diamond()
+        with pytest.raises(PartitionError):
+            SPartition(dag=dag, s=4, classes=[[3, 1, 2], [0]]).verify()
+
+    def test_dominator_condition_enforced(self):
+        inst = fanin_groups_instance(num_groups=5, group_size=1)
+        dag = inst.dag
+        # a single class containing everything needs a dominator of size 5 (the sources)
+        with pytest.raises(PartitionError):
+            SDominatorPartition(dag=dag, s=4, classes=[list(dag.nodes())]).verify()
+        SDominatorPartition(dag=dag, s=5, classes=[list(dag.nodes())]).verify()
+
+    def test_terminal_condition_enforced(self):
+        inst = fanin_groups_instance(num_groups=2, group_size=4)
+        dag = inst.dag
+        # put the groups in one class and the sink in another: the first class
+        # has 8 terminal nodes
+        first = list(inst.sources) + [w for g in inst.groups for w in g]
+        with pytest.raises(PartitionError):
+            SPartition(dag=dag, s=4, classes=[first, [inst.sink]]).verify()
+        # as an S-dominator partition (no terminal condition) it is fine with S = 2
+        SDominatorPartition(dag=dag, s=2, classes=[first, [inst.sink]]).verify()
+
+    def test_edge_partition_checks(self):
+        dag = diamond()
+        all_edges = list(dag.edges)
+        SEdgePartition(dag=dag, s=2, classes=[all_edges]).verify()
+        with pytest.raises(PartitionError):
+            SEdgePartition(dag=dag, s=2, classes=[all_edges[:-1]]).verify()
+        # ordering violation: (1,3) before (0,1)
+        with pytest.raises(PartitionError):
+            SEdgePartition(dag=dag, s=2, classes=[[(1, 3), (2, 3)], [(0, 1), (0, 2)]]).verify()
+
+
+class TestExtractionLemmas:
+    """Hong & Kung's extraction and Lemmas 6.4 / 6.8: every strategy yields a valid partition."""
+
+    @staticmethod
+    def _ceil_div(a: int, b: int) -> int:
+        return -(-a // b)
+
+    def _check_rbp(self, schedule):
+        partition = spartition_from_rbp_schedule(schedule)
+        partition.verify()
+        cost = schedule.cost()
+        k = len(partition)
+        # empty subsequences (pure-I/O blocks) are dropped, so k is at most
+        # ceil(C / r); the lower-bound direction C >= r*(k - 1) follows.
+        assert k <= max(1, self._ceil_div(cost, schedule.r))
+        assert cost >= schedule.r * (k - 1)
+
+    def _check_prbp(self, schedule):
+        ep = edge_partition_from_prbp_schedule(schedule)
+        ep.verify()
+        dp = dominator_partition_from_prbp_schedule(schedule)
+        dp.verify()
+        cost = schedule.cost()
+        for k in (len(ep), len(dp)):
+            assert k <= max(1, self._ceil_div(cost, schedule.r))
+            assert cost >= schedule.r * (k - 1)
+
+    def test_figure1(self):
+        self._check_rbp(figure1_rbp_schedule())
+        self._check_prbp(figure1_prbp_schedule())
+
+    def test_exhaustive_optima(self):
+        dag = figure1_instance().dag
+        self._check_rbp(optimal_rbp_schedule(dag, 4))
+        self._check_prbp(optimal_prbp_schedule(dag, 4))
+
+    def test_trees(self):
+        self._check_prbp(tree_prbp_schedule(binary_tree_instance(3)))
+
+    def test_zipper(self):
+        self._check_prbp(zipper_prbp_schedule(zipper_instance(3, 6)))
+
+    def test_matvec(self):
+        self._check_prbp(matvec_prbp_schedule(m=3))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_dags_with_greedy_strategies(self, seed):
+        dag = random_layered_dag([3, 4, 3, 2], edge_probability=0.35, max_in_degree=3, seed=seed)
+        self._check_prbp(topological_prbp_schedule(dag, 3))
+        self._check_rbp(greedy_rbp_schedule(dag, dag.max_in_degree + 1))

@@ -1,0 +1,153 @@
+"""Tests for the exact solvers, reproducing the paper's small-instance claims."""
+
+import pytest
+
+from repro.core.dag import ComputationalDAG
+from repro.core.exceptions import SolverError
+from repro.core.variants import GameVariant, NO_DELETE, RECOMPUTE, SLIDING
+from repro.dags import (
+    binary_tree_instance,
+    chained_gadget_instance,
+    figure1_instance,
+    kary_tree_instance,
+    pebble_collection_instance,
+    random_layered_dag,
+)
+from repro.dags.trees import optimal_prbp_tree_cost, optimal_rbp_tree_cost
+from repro.solvers.exhaustive import (
+    optimal_prbp_cost,
+    optimal_prbp_schedule,
+    optimal_rbp_cost,
+    optimal_rbp_schedule,
+)
+
+
+class TestProposition42:
+    """Figure 1 at r = 4: OPT_RBP = 3, OPT_PRBP = 2."""
+
+    def test_rbp_optimum(self):
+        dag = figure1_instance().dag
+        assert optimal_rbp_cost(dag, 4) == 3
+
+    def test_prbp_optimum(self):
+        dag = figure1_instance().dag
+        assert optimal_prbp_cost(dag, 4) == 2
+
+    def test_schedules_are_valid_and_match_cost(self):
+        dag = figure1_instance().dag
+        rbp_schedule = optimal_rbp_schedule(dag, 4)
+        prbp_schedule = optimal_prbp_schedule(dag, 4)
+        assert rbp_schedule.cost() == 3
+        assert prbp_schedule.cost() == 2
+        assert rbp_schedule.stats().peak_red <= 4
+        assert prbp_schedule.stats().peak_red <= 4
+
+    def test_larger_cache_removes_the_gap(self):
+        # with r = 5 the RBP strategy can keep u1 and u2 alive simultaneously
+        dag = figure1_instance().dag
+        assert optimal_rbp_cost(dag, 5) == 2
+        assert optimal_prbp_cost(dag, 5) == 2
+
+
+class TestTreesSmall:
+    def test_binary_depth2(self):
+        inst = binary_tree_instance(2)
+        assert optimal_rbp_cost(inst.dag, 3) == optimal_rbp_tree_cost(2, 2)
+        assert optimal_prbp_cost(inst.dag, 3) == optimal_prbp_tree_cost(2, 2)
+
+    def test_binary_depth3_prbp_beats_rbp(self):
+        inst = binary_tree_instance(3)
+        rbp = optimal_rbp_cost(inst.dag, 3)
+        prbp = optimal_prbp_cost(inst.dag, 3)
+        assert rbp == optimal_rbp_tree_cost(2, 3) == 15
+        assert prbp == optimal_prbp_tree_cost(2, 3) == 11
+        assert prbp < rbp
+
+    def test_ternary_depth2(self):
+        inst = kary_tree_instance(3, 2)
+        assert optimal_rbp_cost(inst.dag, 4) == optimal_rbp_tree_cost(3, 2)
+        # depth < k: PRBP only pays the trivial cost
+        assert optimal_prbp_cost(inst.dag, 4) == optimal_prbp_tree_cost(3, 2) == 10
+
+
+class TestSmallGadgets:
+    def test_collection_gadget_trivial_with_full_pebbles(self):
+        inst = pebble_collection_instance(d=2, length=6)
+        assert optimal_rbp_cost(inst.dag, 4) == inst.dag.trivial_cost()
+        assert optimal_prbp_cost(inst.dag, 4) == inst.dag.trivial_cost()
+
+    def test_collection_gadget_costs_more_with_fewer_pebbles(self):
+        inst = pebble_collection_instance(d=2, length=6)
+        assert optimal_prbp_cost(inst.dag, 3) > inst.dag.trivial_cost()
+
+    def test_single_chained_copy_matches_figure1_behaviour(self):
+        inst = chained_gadget_instance(1)
+        assert optimal_prbp_cost(inst.dag, 4) == 2
+        assert optimal_rbp_cost(inst.dag, 4) >= 3
+
+    def test_proposition41_on_random_small_dags(self):
+        # OPT_PRBP <= OPT_RBP whenever both are defined
+        for seed in range(4):
+            dag = random_layered_dag([2, 3, 2], edge_probability=0.4, max_in_degree=2, seed=seed)
+            r = dag.max_in_degree + 1
+            assert optimal_prbp_cost(dag, r) <= optimal_rbp_cost(dag, r)
+
+
+class TestInfeasibilityAndLimits:
+    def test_rbp_infeasible_when_r_too_small(self):
+        dag = figure1_instance().dag
+        with pytest.raises(SolverError):
+            optimal_rbp_cost(dag, 2)
+
+    def test_prbp_needs_two_pebbles(self):
+        dag = figure1_instance().dag
+        with pytest.raises(SolverError):
+            optimal_prbp_cost(dag, 1)
+
+    def test_state_budget_is_enforced(self):
+        inst = binary_tree_instance(3)
+        with pytest.raises(SolverError):
+            optimal_rbp_cost(inst.dag, 3, max_states=5)
+
+    def test_prbp_solver_rejects_recompute_variant(self):
+        dag = figure1_instance().dag
+        with pytest.raises(SolverError):
+            optimal_prbp_cost(dag, 4, variant=RECOMPUTE)
+
+
+class TestVariantOptimality:
+    """Appendix B: behaviour of the model variants on the Figure 1 family."""
+
+    def test_recomputation_helps_rbp_on_figure1(self):
+        dag = figure1_instance().dag
+        assert optimal_rbp_cost(dag, 4, variant=RECOMPUTE) == 2
+
+    def test_z_layer_restores_the_gap_under_recomputation(self):
+        inst = figure1_instance(with_z_layer=True)
+        assert optimal_rbp_cost(inst.dag, 4, variant=RECOMPUTE) == 3
+        assert optimal_prbp_cost(inst.dag, 4) == 2
+
+    def test_sliding_helps_rbp_on_figure1(self):
+        dag = figure1_instance().dag
+        assert optimal_rbp_cost(dag, 4, variant=SLIDING) == 2
+
+    def test_w0_node_restores_the_gap_under_sliding(self):
+        inst = figure1_instance(with_w0=True)
+        assert optimal_rbp_cost(inst.dag, 4, variant=SLIDING) == 3
+        assert optimal_prbp_cost(inst.dag, 4) == 2
+
+    def test_no_delete_lower_bound(self):
+        # Appendix B.4: without deletion, OPT_PRBP >= n - r
+        inst = binary_tree_instance(2)
+        dag = inst.dag
+        r = 3
+        cost = optimal_prbp_cost(dag, r, variant=NO_DELETE)
+        assert cost >= dag.n - r
+        assert cost >= optimal_prbp_cost(dag, r)
+
+    def test_compute_costs_added_to_total(self):
+        dag = figure1_instance().dag
+        schedule = optimal_rbp_schedule(dag, 4, variant=GameVariant(compute_cost=0.125))
+        stats = schedule.stats()
+        assert stats.io_cost == 3
+        assert stats.total_cost == pytest.approx(3 + 0.125 * stats.computes)

@@ -1,0 +1,228 @@
+"""Tests for the independent-set machinery and the Theorem 4.8 / 7.1 constructions."""
+
+import pytest
+
+from repro.hardness.independent_set import (
+    UndirectedGraph,
+    clique_number,
+    independence_number,
+    max_clique_via_vertex_oracle,
+    maxclique_vertex,
+    maximum_clique,
+    maximum_independent_set,
+    maxinset_vertex,
+)
+from repro.hardness.levels import (
+    CrossEdge,
+    LevelRef,
+    TowerSpec,
+    build_towers_dag,
+    demo_theorem71_instance,
+    insert_auxiliary_levels,
+)
+from repro.hardness.reduction_thm48 import Theorem48Parameters, build_theorem48_instance
+
+
+def cycle5() -> UndirectedGraph:
+    return UndirectedGraph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+
+
+def path4() -> UndirectedGraph:
+    return UndirectedGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+
+
+class TestUndirectedGraph:
+    def test_normalisation(self):
+        g = UndirectedGraph.from_edges(3, [(1, 0), (0, 1), (2, 1)])
+        assert len(g.edges) == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.neighbors(1) == frozenset({0, 2})
+        assert g.degree(1) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UndirectedGraph.from_edges(2, [(0, 0)])
+        with pytest.raises(ValueError):
+            UndirectedGraph.from_edges(2, [(0, 5)])
+
+    def test_complement(self):
+        g = path4()
+        comp = g.complement()
+        assert comp.has_edge(0, 2) and comp.has_edge(0, 3) and comp.has_edge(1, 3)
+        assert not comp.has_edge(0, 1)
+        assert len(comp.edges) == 6 - 3
+
+
+class TestIndependentSets:
+    def test_cycle5(self):
+        g = cycle5()
+        assert independence_number(g) == 2
+        mis = maximum_independent_set(g)
+        assert len(mis) == 2
+        assert not any(g.has_edge(u, v) for u in mis for v in mis if u != v)
+
+    def test_path4(self):
+        assert independence_number(path4()) == 2
+        assert clique_number(path4()) == 2
+
+    def test_empty_and_complete_graphs(self):
+        empty = UndirectedGraph.from_edges(4, [])
+        complete = UndirectedGraph.from_edges(
+            4, [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        )
+        assert independence_number(empty) == 4
+        assert independence_number(complete) == 1
+        assert clique_number(complete) == 4
+
+    def test_maxinset_vertex_every_node_of_c5(self):
+        g = cycle5()
+        assert all(maxinset_vertex(g, v) for v in range(5))
+
+    def test_maxinset_vertex_negative_case(self):
+        # star graph: the centre is only in the (size-1) independent set {centre},
+        # while the leaves form the unique maximum independent set
+        star = UndirectedGraph.from_edges(5, [(0, i) for i in range(1, 5)])
+        assert not maxinset_vertex(star, 0)
+        assert all(maxinset_vertex(star, v) for v in range(1, 5))
+
+    def test_maxclique_vertex_is_complement_of_maxinset(self):
+        g = path4()
+        for v in range(g.n):
+            assert maxclique_vertex(g, v) == maxinset_vertex(g.complement(), v)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError):
+            maxinset_vertex(path4(), 9)
+
+
+class TestLemmaA1SelfReduction:
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle5(), path4(), UndirectedGraph.from_edges(4, []), UndirectedGraph.from_edges(6, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)])],
+    )
+    def test_oracle_reduction_finds_a_maximum_clique(self, graph):
+        found = max_clique_via_vertex_oracle(graph)
+        assert len(found) == clique_number(graph)
+        assert all(graph.has_edge(u, v) for u in found for v in found if u != v)
+
+
+class TestTheorem48Construction:
+    def test_parameters_follow_appendix_a4(self):
+        g = cycle5()
+        params = Theorem48Parameters.from_graph(g, b=8)
+        assert params.r == 8 + 4 * 5 + 5
+        assert params.group_size == params.r - 2
+        assert params.ell == 2 * params.ell0 + params.n0 + (params.r - 2)
+        # the soundness inequality of A.4 holds with the exact parameters
+        lhs = params.ell0 / (2 * (params.r - 2)) - (params.r - 1)
+        rhs = params.n0 * params.b + 2 * params.num_edges0 + 6
+        assert lhs > rhs
+
+    def test_b_must_exceed_3(self):
+        with pytest.raises(ValueError):
+            Theorem48Parameters.from_graph(cycle5(), b=3)
+
+    def test_structure_of_small_instance(self):
+        g = path4()
+        inst = build_theorem48_instance(g, v0=1, chain_scale=0.02)
+        dag = inst.dag
+        params = inst.params
+        # two gadgets per G0 node, each with a chain of length ell
+        assert all(len(inst.h1_chain[u]) == params.ell for u in range(g.n))
+        assert all(len(inst.h2_chain[u]) == params.ell for u in range(g.n))
+        # every source group has exactly r - 2 members and shares the b merged nodes
+        for u in range(g.n):
+            assert len(inst.h1_sources[u]) == params.group_size
+            assert len(inst.h2_sources[u]) == params.group_size
+            assert inst.h1_sources[u][: params.b] == inst.merged_sources[u]
+            assert inst.h2_sources[u][: params.b] == inst.merged_sources[u]
+        # the cross replacements: for each G0 edge, a middle chain node of
+        # H1(u) appears among the sources of H2(neighbour)
+        for (a, b_node) in g.edges:
+            assert any(s in inst.h1_chain[a] for s in inst.h2_sources[b_node])
+            assert any(s in inst.h1_chain[b_node] for s in inst.h2_sources[a])
+        # the discriminator sink w aggregates exactly Z1 and Z2
+        assert set(dag.predecessors(inst.w)) == set(inst.z1) | set(inst.z2)
+        assert dag.is_sink(inst.w)
+        assert dag.max_in_degree >= 2
+
+    def test_size_is_polynomial(self):
+        g = path4()
+        full = build_theorem48_instance(g, v0=0)
+        # n = O(n0 * ell) = O(n0 * (n0^2 + n0*|E0|) * r); for the path graph this
+        # stays comfortably below n0^5
+        assert full.dag.n < g.n**5 * 100
+        assert full.dag.n > 2 * g.n * full.params.ell  # both chains are present
+
+    def test_unknown_v0_rejected(self):
+        with pytest.raises(ValueError):
+            build_theorem48_instance(path4(), v0=7)
+
+
+class TestTheorem71Levels:
+    def test_auxiliary_insertion_counts(self):
+        spec = TowerSpec(level_sizes=(4, 4, 2, 3))
+        adapted = insert_auxiliary_levels(spec)
+        # one aux before level 1 (same size), (4-2+2)=4 aux before level 2,
+        # one aux before level 3, one aux on top
+        assert sum(adapted.is_auxiliary) == 1 + 4 + 1 + 1
+        assert len(adapted.levels) == 4 + 7
+        # aux levels have the size of the following original level
+        first_aux = adapted.entry_aux_of_original[1]
+        assert adapted.levels[first_aux] == 4
+        shrink_aux = adapted.entry_aux_of_original[2]
+        assert adapted.levels[shrink_aux] == 2
+        assert shrink_aux in adapted.shrink_extra
+
+    def test_tower_spec_validation(self):
+        with pytest.raises(ValueError):
+            TowerSpec(level_sizes=())
+        with pytest.raises(ValueError):
+            TowerSpec(level_sizes=(3, 0))
+
+    def test_adapted_dag_is_larger_but_polynomial(self):
+        plain = demo_theorem71_instance(adapted=False)
+        adapted = demo_theorem71_instance(adapted=True)
+        assert adapted.dag.n > plain.dag.n
+        assert adapted.dag.n < 10 * plain.dag.n
+
+    def test_shrink_protection_edges_exist(self):
+        inst = demo_theorem71_instance(adapted=True)
+        tower = inst.towers[0]
+        # find an auxiliary level protecting the shrink from size 4 to size 2
+        aux_levels = [i for i, orig in tower.shrink_extra.items()]
+        assert aux_levels
+        for aux in aux_levels:
+            last_node = inst.level_nodes(0, aux)[-1]
+            wide_level_phys = tower.original_index.index(tower.shrink_extra[aux])
+            wide_nodes = inst.level_nodes(0, wide_level_phys)
+            # the "extra" wide nodes u_{l'+1}..u_l feed the last auxiliary node
+            assert any(inst.dag.has_edge(u, last_node) for u in wide_nodes[2:])
+
+    def test_cross_edges_are_rerouted_to_auxiliary_levels(self):
+        spec_a = TowerSpec(level_sizes=(3, 3))
+        spec_b = TowerSpec(level_sizes=(3, 3))
+        cross = [CrossEdge(src=LevelRef(0, 0), dst=LevelRef(1, 1))]
+        plain = build_towers_dag([spec_a, spec_b], cross, adapted=False)
+        adapted = build_towers_dag([spec_a, spec_b], cross, adapted=True)
+        # in the plain construction the edges hit the original level directly
+        dst_plain = plain.level_nodes(1, 1)
+        assert any(
+            plain.dag.has_edge(u, v)
+            for u in plain.level_nodes(0, 0)
+            for v in dst_plain
+        )
+        # in the adapted construction they hit the auxiliary level below it
+        aux_phys = adapted.towers[1].entry_aux_of_original[1]
+        dst_adapted = adapted.level_nodes(1, aux_phys)
+        assert any(
+            adapted.dag.has_edge(u, v)
+            for u in adapted.level_nodes(0, 0)
+            for v in dst_adapted
+        )
+
+    def test_demo_instance_is_a_valid_dag(self):
+        inst = demo_theorem71_instance()
+        inst.dag.validate_no_isolated()
+        assert len(inst.dag.sources) >= 2
+        assert inst.dag.m > inst.dag.n

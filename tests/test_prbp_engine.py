@@ -1,0 +1,287 @@
+"""Unit tests for the PRBP engine (partial computes, pebble states, variants)."""
+
+import pytest
+
+from repro.core.dag import ComputationalDAG
+from repro.core.exceptions import CapacityExceededError, IllegalMoveError, IncompletePebblingError
+from repro.core.moves import PRBPMove, MoveKind, prbp
+from repro.core.pebbles import PRBPState
+from repro.core.prbp import (
+    PRBPGame,
+    is_valid_prbp_schedule,
+    prbp_schedule_cost,
+    run_prbp_schedule,
+)
+from repro.core.variants import GameVariant, NO_DELETE, RECOMPUTE, SLIDING
+
+
+def chain3() -> ComputationalDAG:
+    return ComputationalDAG(3, [(0, 1), (1, 2)], name="chain3")
+
+
+def fanin() -> ComputationalDAG:
+    # two sources aggregated into one sink: 0 -> 2 <- 1
+    return ComputationalDAG(3, [(0, 2), (1, 2)], name="fanin2")
+
+
+class TestPebbleStates:
+    def test_enum_properties(self):
+        assert PRBPState.DARK_RED.has_red and PRBPState.DARK_RED.is_dark_red
+        assert PRBPState.BLUE_LIGHT_RED.has_red and PRBPState.BLUE_LIGHT_RED.has_blue
+        assert PRBPState.BLUE.has_blue and not PRBPState.BLUE.has_red
+        assert not PRBPState.NONE.has_blue and not PRBPState.NONE.has_red
+        assert PRBPState.BLUE_LIGHT_RED.is_light_red
+
+    def test_initial_state(self):
+        game = PRBPGame(fanin(), r=2)
+        assert game.node_state(0) is PRBPState.BLUE
+        assert game.node_state(1) is PRBPState.BLUE
+        assert game.node_state(2) is PRBPState.NONE
+        assert game.red_count() == 0
+
+
+class TestBasicRules:
+    def test_aggregation_one_input_at_a_time(self):
+        dag = fanin()
+        moves = [
+            prbp.load(0),
+            prbp.compute(0, 2),
+            prbp.delete(0),
+            prbp.load(1),
+            prbp.compute(1, 2),
+            prbp.save(2),
+        ]
+        game = run_prbp_schedule(dag, 2, moves)
+        assert game.io_cost == 3
+        assert game.is_terminal()
+
+    def test_r2_suffices_for_any_dag(self):
+        dag = chain3()
+        moves = [
+            prbp.load(0),
+            prbp.compute(0, 1),
+            prbp.delete(0),
+            prbp.compute(1, 2),
+            prbp.delete(1),
+            prbp.save(2),
+        ]
+        game = run_prbp_schedule(dag, 2, moves)
+        assert game.io_cost == 2
+
+    def test_compute_requires_tail_fully_computed(self):
+        game = PRBPGame(chain3(), r=3)
+        game.apply(prbp.load(0))
+        game.apply(prbp.compute(0, 1))
+        # node 1 is fully computed now, so (1, 2) is allowed
+        game.apply(prbp.compute(1, 2))
+        assert game.is_fully_computed(2)
+
+    def test_compute_rejects_unfinished_tail(self):
+        game = PRBPGame(fanin(), r=3)
+        game.apply(prbp.load(0))
+        game.apply(prbp.compute(0, 2))
+        # node 2 is not fully computed, and it has no out-edges anyway
+        with pytest.raises(IllegalMoveError):
+            game.apply(prbp.compute(2, 0))  # not even an edge
+
+    def test_compute_requires_tail_red(self):
+        game = PRBPGame(chain3(), r=2)
+        with pytest.raises(IllegalMoveError):
+            game.apply(prbp.compute(0, 1))  # source 0 not loaded
+
+    def test_compute_rejects_blue_only_head(self):
+        dag = fanin()
+        game = PRBPGame(dag, r=3)
+        game.apply(prbp.load(0))
+        game.apply(prbp.compute(0, 2))
+        game.apply(prbp.save(2))
+        game.apply(prbp.delete(2))  # partial value now only in slow memory
+        game.apply(prbp.load(1))
+        with pytest.raises(IllegalMoveError):
+            game.apply(prbp.compute(1, 2))  # must reload node 2 first
+        game.apply(prbp.load(2))
+        game.apply(prbp.compute(1, 2))
+        assert game.node_state(2) is PRBPState.DARK_RED
+
+    def test_compute_marks_edge_once(self):
+        game = PRBPGame(chain3(), r=3)
+        game.apply(prbp.load(0))
+        game.apply(prbp.compute(0, 1))
+        with pytest.raises(IllegalMoveError):
+            game.apply(prbp.compute(0, 1))
+
+    def test_save_requires_dark_red(self):
+        game = PRBPGame(chain3(), r=2)
+        game.apply(prbp.load(0))
+        with pytest.raises(IllegalMoveError):
+            game.apply(prbp.save(0))  # light red, already up to date in slow memory
+
+    def test_load_requires_blue(self):
+        game = PRBPGame(chain3(), r=2)
+        with pytest.raises(IllegalMoveError):
+            game.apply(prbp.load(2))
+
+    def test_delete_dark_red_requires_marked_out_edges(self):
+        game = PRBPGame(chain3(), r=3)
+        game.apply(prbp.load(0))
+        game.apply(prbp.compute(0, 1))
+        with pytest.raises(IllegalMoveError):
+            game.apply(prbp.delete(1))  # (1, 2) unmarked; the value would be lost
+        game.apply(prbp.compute(1, 2))
+        game.apply(prbp.delete(1))
+        assert game.node_state(1) is PRBPState.NONE
+
+    def test_delete_light_red_always_allowed(self):
+        game = PRBPGame(chain3(), r=2)
+        game.apply(prbp.load(0))
+        game.apply(prbp.delete(0))
+        assert game.node_state(0) is PRBPState.BLUE
+
+    def test_capacity_enforced(self):
+        game = PRBPGame(fanin(), r=1)
+        game.apply(prbp.load(0))
+        with pytest.raises(CapacityExceededError):
+            game.apply(prbp.compute(0, 2))
+
+    def test_capacity_not_consumed_when_head_already_red(self):
+        game = PRBPGame(fanin(), r=2)
+        game.apply(prbp.load(0))
+        game.apply(prbp.compute(0, 2))
+        game.apply(prbp.delete(0))
+        game.apply(prbp.load(1))
+        game.apply(prbp.compute(1, 2))  # 2 already dark red: no new pebble needed
+        assert game.red_count() == 2
+
+    def test_sliding_variant_rejected(self):
+        with pytest.raises(ValueError):
+            PRBPGame(chain3(), r=2, variant=SLIDING)
+
+
+class TestTerminalCondition:
+    def test_all_edges_must_be_marked(self):
+        dag = fanin()
+        # pebble the sink via only one of its two inputs: invalid even if the
+        # sink got a blue pebble, because one edge stays unmarked
+        moves = [prbp.load(0), prbp.compute(0, 2), prbp.save(2)]
+        with pytest.raises(IncompletePebblingError):
+            run_prbp_schedule(dag, 2, moves)
+
+    def test_sinks_need_blue(self):
+        dag = chain3()
+        moves = [
+            prbp.load(0),
+            prbp.compute(0, 1),
+            prbp.delete(0),
+            prbp.compute(1, 2),
+            prbp.delete(1),
+        ]
+        with pytest.raises(IncompletePebblingError):
+            run_prbp_schedule(dag, 2, moves)
+
+    def test_validity_helpers(self):
+        dag = chain3()
+        good = [
+            prbp.load(0),
+            prbp.compute(0, 1),
+            prbp.delete(0),
+            prbp.compute(1, 2),
+            prbp.save(2),
+        ]
+        assert is_valid_prbp_schedule(dag, 2, good)
+        assert prbp_schedule_cost(dag, 2, good) == 2
+        assert not is_valid_prbp_schedule(dag, 2, good[:-1])
+
+    def test_legal_moves_are_legal(self):
+        game = PRBPGame(fanin(), r=2)
+        game.apply(prbp.load(0))
+        game.apply(prbp.compute(0, 2))
+        for mv in game.legal_moves():
+            game.copy().apply(mv)
+
+    def test_copy_is_independent(self):
+        game = PRBPGame(chain3(), r=2)
+        game.apply(prbp.load(0))
+        clone = game.copy()
+        clone.apply(prbp.compute(0, 1))
+        assert clone.is_marked(0, 1)
+        assert not game.is_marked(0, 1)
+
+
+class TestVariants:
+    def test_clear_requires_recompute_variant(self):
+        game = PRBPGame(chain3(), r=3)
+        game.apply(prbp.load(0))
+        game.apply(prbp.compute(0, 1))
+        with pytest.raises(IllegalMoveError):
+            game.apply(prbp.clear(1))
+
+    def test_clear_resets_node(self):
+        game = PRBPGame(chain3(), r=3, variant=RECOMPUTE)
+        game.apply(prbp.load(0))
+        game.apply(prbp.compute(0, 1))
+        game.apply(prbp.clear(1))
+        assert game.node_state(1) is PRBPState.NONE
+        assert not game.is_marked(0, 1)
+        # the edge can be computed again
+        game.apply(prbp.compute(0, 1))
+        assert game.is_marked(0, 1)
+
+    def test_clear_rejected_on_sources_and_sinks(self):
+        game = PRBPGame(chain3(), r=3, variant=RECOMPUTE)
+        with pytest.raises(IllegalMoveError):
+            game.apply(prbp.clear(0))
+        with pytest.raises(IllegalMoveError):
+            game.apply(prbp.clear(2))
+
+    def test_no_delete_variant_blocks_dark_red_deletion(self):
+        game = PRBPGame(chain3(), r=3, variant=NO_DELETE)
+        game.apply(prbp.load(0))
+        game.apply(prbp.compute(0, 1))
+        game.apply(prbp.compute(1, 2))
+        with pytest.raises(IllegalMoveError):
+            game.apply(prbp.delete(1))
+        # saving first makes the pebble light red and hence removable
+        game.apply(prbp.save(1))
+        game.apply(prbp.delete(1))
+        assert game.node_state(1) is PRBPState.BLUE
+
+    def test_split_compute_cost(self):
+        dag = fanin()
+        variant = GameVariant(compute_cost=1.0, split_compute_cost=True)
+        moves = [
+            prbp.load(0),
+            prbp.load(1),
+            prbp.compute(0, 2),
+            prbp.compute(1, 2),
+            prbp.save(2),
+        ]
+        game = run_prbp_schedule(dag, 3, moves, variant=variant)
+        assert game.io_cost == 3
+        # the sink has in-degree 2, so each partial compute costs 1/2
+        assert game.total_cost == pytest.approx(3 + 1.0)
+
+    def test_flat_compute_cost(self):
+        dag = fanin()
+        variant = GameVariant(compute_cost=0.5)
+        moves = [
+            prbp.load(0),
+            prbp.load(1),
+            prbp.compute(0, 2),
+            prbp.compute(1, 2),
+            prbp.save(2),
+        ]
+        game = run_prbp_schedule(dag, 3, moves, variant=variant)
+        assert game.total_cost == pytest.approx(3 + 2 * 0.5)
+
+
+class TestMoveDataclass:
+    def test_compute_targets_edge(self):
+        with pytest.raises(ValueError):
+            PRBPMove(MoveKind.COMPUTE, node=1)
+        with pytest.raises(ValueError):
+            PRBPMove(MoveKind.LOAD, edge=(0, 1))
+
+    def test_str(self):
+        assert "partial compute (0, 1)" == str(prbp.compute(0, 1))
+        assert "save 2" == str(prbp.save(2))
+        assert prbp.load(0).is_io and not prbp.compute(0, 1).is_io

@@ -1,0 +1,125 @@
+"""Property-based tests (hypothesis) for the engines, solvers and the extraction lemmas.
+
+The generators build random layered DAGs with bounded degrees, so the
+exhaustive solvers stay fast and the greedy solvers always have a feasible
+capacity to work with.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bounds.partitions import (
+    dominator_partition_from_prbp_schedule,
+    edge_partition_from_prbp_schedule,
+    spartition_from_rbp_schedule,
+)
+from repro.core.conversion import convert_rbp_to_prbp
+from repro.dags.random_dags import random_dag, random_layered_dag
+from repro.solvers.baselines import naive_prbp_schedule
+from repro.solvers.exhaustive import optimal_prbp_cost, optimal_rbp_cost
+from repro.solvers.greedy import greedy_rbp_schedule, topological_prbp_schedule
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+@st.composite
+def layered_dags(draw, max_layer=4, max_width=4):
+    """A random layered DAG with in-degree at most 3 and a deterministic seed."""
+    n_layers = draw(st.integers(min_value=2, max_value=max_layer))
+    sizes = [draw(st.integers(min_value=1, max_value=max_width)) for _ in range(n_layers)]
+    prob = draw(st.floats(min_value=0.1, max_value=0.6))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_layered_dag(sizes, edge_probability=prob, max_in_degree=3, seed=seed)
+
+
+@st.composite
+def small_dags(draw):
+    """A small unstructured random DAG suitable for the exhaustive solvers."""
+    n = draw(st.integers(min_value=2, max_value=7))
+    prob = draw(st.floats(min_value=0.1, max_value=0.5))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_dag(n, edge_probability=prob, seed=seed)
+
+
+class TestGreedyStrategiesAlwaysValid:
+    @SETTINGS
+    @given(dag=layered_dags(), r=st.integers(min_value=2, max_value=6))
+    def test_topological_prbp_is_valid_and_bounded(self, dag, r):
+        schedule = topological_prbp_schedule(dag, r)
+        game = schedule.validate()
+        assert game.is_terminal()
+        assert schedule.stats().peak_red <= r
+        assert game.io_cost >= dag.trivial_cost()
+
+    @SETTINGS
+    @given(dag=layered_dags(), extra=st.integers(min_value=0, max_value=3))
+    def test_greedy_rbp_is_valid_and_bounded(self, dag, extra):
+        r = dag.max_in_degree + 1 + extra
+        schedule = greedy_rbp_schedule(dag, r)
+        game = schedule.validate()
+        assert game.is_terminal()
+        assert schedule.stats().peak_red <= r
+        assert game.io_cost >= dag.trivial_cost()
+
+    @SETTINGS
+    @given(dag=layered_dags())
+    def test_naive_prbp_upper_bound(self, dag):
+        schedule = naive_prbp_schedule(dag)
+        assert schedule.validate().is_terminal()
+        assert schedule.cost() <= 3 * dag.m + dag.n
+
+
+class TestProposition41:
+    @SETTINGS
+    @given(dag=layered_dags(), extra=st.integers(min_value=0, max_value=2))
+    def test_conversion_preserves_cost_and_validity(self, dag, extra):
+        r = dag.max_in_degree + 1 + extra
+        rbp_schedule = greedy_rbp_schedule(dag, r)
+        prbp_schedule = convert_rbp_to_prbp(rbp_schedule)
+        assert prbp_schedule.validate().io_cost == rbp_schedule.cost()
+
+    @SETTINGS
+    @given(dag=small_dags())
+    def test_opt_prbp_never_exceeds_opt_rbp(self, dag):
+        r = dag.max_in_degree + 1
+        rbp = optimal_rbp_cost(dag, r, max_states=200_000)
+        prbp = optimal_prbp_cost(dag, r, max_states=200_000)
+        assert prbp <= rbp
+        assert prbp >= dag.trivial_cost()
+
+
+class TestExtractionLemmasProperty:
+    @SETTINGS
+    @given(dag=layered_dags(), r=st.integers(min_value=2, max_value=5))
+    def test_prbp_schedule_yields_valid_partitions(self, dag, r):
+        schedule = topological_prbp_schedule(dag, r)
+        edge_partition_from_prbp_schedule(schedule).verify()
+        dominator_partition_from_prbp_schedule(schedule).verify()
+
+    @SETTINGS
+    @given(dag=layered_dags(), extra=st.integers(min_value=0, max_value=2))
+    def test_rbp_schedule_yields_valid_spartition(self, dag, extra):
+        r = dag.max_in_degree + 1 + extra
+        schedule = greedy_rbp_schedule(dag, r)
+        spartition_from_rbp_schedule(schedule).verify()
+
+
+class TestMonotonicityProperties:
+    @SETTINGS
+    @given(dag=small_dags())
+    def test_more_memory_never_hurts_prbp(self, dag):
+        r = max(2, dag.max_in_degree + 1)
+        small = optimal_prbp_cost(dag, r, max_states=200_000)
+        large = optimal_prbp_cost(dag, r + 2, max_states=200_000)
+        assert large <= small
+
+    @SETTINGS
+    @given(dag=small_dags())
+    def test_optimum_is_at_least_trivial_and_at_most_naive(self, dag):
+        r = max(2, dag.max_in_degree + 1)
+        opt = optimal_prbp_cost(dag, r, max_states=200_000)
+        assert dag.trivial_cost() <= opt <= naive_prbp_schedule(dag, 2).cost()

@@ -1,0 +1,195 @@
+"""Unit tests for the RBP engine (rules, variants, validation helpers)."""
+
+import pytest
+
+from repro.core.dag import ComputationalDAG
+from repro.core.exceptions import CapacityExceededError, IllegalMoveError, IncompletePebblingError
+from repro.core.moves import MoveKind, RBPMove, rbp
+from repro.core.rbp import RBPGame, is_valid_rbp_schedule, rbp_schedule_cost, run_rbp_schedule
+from repro.core.variants import GameVariant, NO_DELETE, RECOMPUTE, SLIDING
+
+
+def chain3() -> ComputationalDAG:
+    # 0 -> 1 -> 2
+    return ComputationalDAG(3, [(0, 1), (1, 2)], name="chain3")
+
+
+def diamond() -> ComputationalDAG:
+    return ComputationalDAG(4, [(0, 1), (0, 2), (1, 3), (2, 3)], name="diamond")
+
+
+class TestBasicRules:
+    def test_initial_state(self):
+        game = RBPGame(chain3(), r=2)
+        assert game.blue == {0}
+        assert game.red == set()
+        assert game.io_cost == 0
+        assert not game.is_terminal()
+
+    def test_full_pebbling_of_chain(self):
+        dag = chain3()
+        moves = [rbp.load(0), rbp.compute(1), rbp.delete(0), rbp.compute(2), rbp.save(2)]
+        game = run_rbp_schedule(dag, 2, moves)
+        assert game.io_cost == 2
+        assert game.is_terminal()
+
+    def test_load_requires_blue(self):
+        game = RBPGame(chain3(), r=2)
+        with pytest.raises(IllegalMoveError):
+            game.apply(rbp.load(1))
+
+    def test_save_requires_red(self):
+        game = RBPGame(chain3(), r=2)
+        with pytest.raises(IllegalMoveError):
+            game.apply(rbp.save(0))
+
+    def test_compute_requires_all_inputs_red(self):
+        game = RBPGame(diamond(), r=4)
+        game.apply(rbp.load(0))
+        game.apply(rbp.compute(1))
+        with pytest.raises(IllegalMoveError):
+            game.apply(rbp.compute(3))  # node 2 not red yet
+
+    def test_compute_source_is_illegal(self):
+        game = RBPGame(chain3(), r=2)
+        with pytest.raises(IllegalMoveError):
+            game.apply(rbp.compute(0))
+
+    def test_delete_requires_red(self):
+        game = RBPGame(chain3(), r=2)
+        with pytest.raises(IllegalMoveError):
+            game.apply(rbp.delete(0))
+
+    def test_capacity_enforced(self):
+        game = RBPGame(diamond(), r=2)
+        game.apply(rbp.load(0))
+        game.apply(rbp.compute(1))
+        with pytest.raises(CapacityExceededError):
+            game.apply(rbp.compute(2))
+
+    def test_one_shot_forbids_recompute(self):
+        game = RBPGame(chain3(), r=3)
+        game.apply(rbp.load(0))
+        game.apply(rbp.compute(1))
+        with pytest.raises(IllegalMoveError):
+            game.apply(rbp.compute(1))
+
+    def test_unknown_node_rejected(self):
+        game = RBPGame(chain3(), r=2)
+        with pytest.raises(IllegalMoveError):
+            game.apply(rbp.load(17))
+
+    def test_r_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RBPGame(chain3(), r=0)
+
+    def test_isolated_node_rejected_at_game_start(self):
+        dag = ComputationalDAG(3, [(0, 1)])
+        with pytest.raises(Exception):
+            RBPGame(dag, r=2)
+
+
+class TestTerminalAndHelpers:
+    def test_incomplete_pebbling_detected(self):
+        dag = chain3()
+        moves = [rbp.load(0), rbp.compute(1), rbp.delete(0), rbp.compute(2)]
+        with pytest.raises(IncompletePebblingError):
+            run_rbp_schedule(dag, 2, moves)
+
+    def test_is_valid_helpers(self):
+        dag = chain3()
+        good = [rbp.load(0), rbp.compute(1), rbp.delete(0), rbp.compute(2), rbp.save(2)]
+        bad = good[:-1]
+        assert is_valid_rbp_schedule(dag, 2, good)
+        assert not is_valid_rbp_schedule(dag, 2, bad)
+        assert rbp_schedule_cost(dag, 2, good) == 2
+
+    def test_copy_is_independent(self):
+        game = RBPGame(chain3(), r=2)
+        game.apply(rbp.load(0))
+        clone = game.copy()
+        clone.apply(rbp.compute(1))
+        assert 1 in clone.red and 1 not in game.red
+        assert clone.io_cost == game.io_cost
+
+    def test_legal_moves_contains_only_legal_moves(self):
+        game = RBPGame(diamond(), r=3)
+        game.apply(rbp.load(0))
+        for mv in game.legal_moves():
+            game.copy().apply(mv)
+
+    def test_history_recording(self):
+        game = RBPGame(chain3(), r=2)
+        game.apply(rbp.load(0))
+        assert game.history == [rbp.load(0)]
+        no_hist = RBPGame(chain3(), r=2, record_history=False)
+        no_hist.apply(rbp.load(0))
+        assert no_hist.history is None
+
+
+class TestVariants:
+    def test_sliding_compute_moves_pebble(self):
+        game = RBPGame(chain3(), r=1, variant=SLIDING)
+        game.apply(rbp.load(0))
+        game.apply(rbp.compute(1, slide_from=0))
+        assert game.red == {1}
+        assert 0 not in game.red
+
+    def test_sliding_requires_variant(self):
+        game = RBPGame(chain3(), r=2)
+        game.apply(rbp.load(0))
+        with pytest.raises(IllegalMoveError):
+            game.apply(rbp.compute(1, slide_from=0))
+
+    def test_sliding_from_non_input_rejected(self):
+        game = RBPGame(diamond(), r=4, variant=SLIDING)
+        game.apply(rbp.load(0))
+        game.apply(rbp.compute(1))
+        with pytest.raises(IllegalMoveError):
+            game.apply(rbp.compute(2, slide_from=1))
+
+    def test_recompute_variant_allows_second_compute(self):
+        game = RBPGame(chain3(), r=3, variant=RECOMPUTE)
+        game.apply(rbp.load(0))
+        game.apply(rbp.compute(1))
+        game.apply(rbp.delete(1))
+        game.apply(rbp.compute(1))
+        assert 1 in game.red
+
+    def test_no_delete_variant(self):
+        game = RBPGame(chain3(), r=3, variant=NO_DELETE)
+        game.apply(rbp.load(0))
+        with pytest.raises(IllegalMoveError):
+            game.apply(rbp.delete(0))
+        # in this variant a save removes the red pebble
+        game.apply(rbp.save(0))
+        assert 0 not in game.red and 0 in game.blue
+
+    def test_compute_cost_accounting(self):
+        variant = GameVariant(compute_cost=0.25)
+        dag = chain3()
+        moves = [rbp.load(0), rbp.compute(1), rbp.compute(2), rbp.save(2)]
+        game = run_rbp_schedule(dag, 3, moves, variant=variant)
+        assert game.io_cost == 2
+        assert game.total_cost == pytest.approx(2 + 2 * 0.25)
+
+    def test_negative_compute_cost_rejected(self):
+        with pytest.raises(ValueError):
+            GameVariant(compute_cost=-1.0)
+
+    def test_variant_describe(self):
+        assert "one-shot" in GameVariant().describe()
+        assert "sliding" in SLIDING.describe()
+        assert "no-deletion" in NO_DELETE.describe()
+        assert "re-computation" in RECOMPUTE.describe()
+
+
+class TestMoveDataclasses:
+    def test_slide_from_only_for_compute(self):
+        with pytest.raises(ValueError):
+            RBPMove(MoveKind.LOAD, 0, slide_from=1)
+
+    def test_str_representations(self):
+        assert "load 3" in str(rbp.load(3))
+        assert "slide" in str(rbp.compute(2, slide_from=1))
+        assert rbp.save(1).is_io and not rbp.delete(1).is_io

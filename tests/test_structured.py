@@ -1,0 +1,219 @@
+"""Tests for the structured strategies: validity and the paper's closed-form costs."""
+
+import pytest
+
+from repro.bounds.analytic import (
+    chained_gadget_prbp_optimal_cost,
+    matvec_prbp_optimal_cost,
+    matvec_rbp_lower_bound,
+    zipper_prbp_cost_estimate,
+    zipper_rbp_cost_estimate,
+)
+from repro.core.exceptions import SolverError
+from repro.dags import (
+    attention_instance,
+    chained_gadget_instance,
+    fanin_groups_instance,
+    fft_instance,
+    figure1_instance,
+    kary_tree_instance,
+    matmul_instance,
+    matvec_instance,
+    pebble_collection_instance,
+    zipper_instance,
+)
+from repro.dags.trees import optimal_prbp_tree_cost, optimal_rbp_tree_cost
+from repro.solvers.structured import (
+    attention_flash_prbp_schedule,
+    chained_gadget_prbp_schedule,
+    collection_full_prbp_schedule,
+    collection_full_rbp_schedule,
+    fanin_groups_prbp_schedule,
+    fft_blocked_prbp_schedule,
+    fft_blocked_rbp_schedule,
+    figure1_prbp_schedule,
+    figure1_rbp_schedule,
+    matmul_tiled_prbp_schedule,
+    matvec_prbp_schedule,
+    tree_prbp_schedule,
+    tree_rbp_schedule,
+    zipper_prbp_schedule,
+    zipper_rbp_schedule,
+)
+
+
+class TestFigure1Strategies:
+    def test_appendix_a1_costs(self):
+        assert figure1_prbp_schedule().cost() == 2
+        assert figure1_rbp_schedule().cost() == 3
+
+    def test_peak_memory_respects_r(self):
+        assert figure1_prbp_schedule().stats().peak_red <= 4
+        assert figure1_rbp_schedule().stats().peak_red <= 4
+
+    def test_rejects_variant_gadgets(self):
+        with pytest.raises(ValueError):
+            figure1_prbp_schedule(figure1_instance(with_z_layer=True))
+        with pytest.raises(ValueError):
+            figure1_rbp_schedule(figure1_instance(include_endpoints=False))
+
+
+class TestChainedGadget:
+    @pytest.mark.parametrize("copies", [1, 3, 10, 25])
+    def test_cost_is_two_for_any_length(self, copies):
+        inst = chained_gadget_instance(copies)
+        schedule = chained_gadget_prbp_schedule(inst)
+        assert schedule.cost() == chained_gadget_prbp_optimal_cost() == 2
+        assert schedule.stats().peak_red <= 4
+
+    def test_requires_r_at_least_4(self):
+        with pytest.raises(SolverError):
+            chained_gadget_prbp_schedule(chained_gadget_instance(2), r=3)
+
+
+class TestMatVec:
+    @pytest.mark.parametrize("m", [1, 3, 5, 7])
+    def test_cost_matches_proposition43(self, m):
+        inst = matvec_instance(m)
+        schedule = matvec_prbp_schedule(inst)
+        assert schedule.cost() == matvec_prbp_optimal_cost(m) == m * m + 2 * m
+        assert schedule.cost() == inst.dag.trivial_cost()
+        assert schedule.stats().peak_red <= m + 3
+
+    def test_prbp_beats_rbp_lower_bound(self):
+        for m in (3, 4, 6):
+            assert matvec_prbp_optimal_cost(m) < matvec_rbp_lower_bound(m)
+
+    def test_requires_enough_memory(self):
+        with pytest.raises(SolverError):
+            matvec_prbp_schedule(matvec_instance(4), r=5)
+
+
+class TestZipper:
+    @pytest.mark.parametrize("d,length", [(3, 4), (3, 9), (4, 8), (5, 6)])
+    def test_costs_match_estimates(self, d, length):
+        inst = zipper_instance(d, length)
+        prbp = zipper_prbp_schedule(inst)
+        rbp = zipper_rbp_schedule(inst)
+        assert prbp.cost() == zipper_prbp_cost_estimate(d, length)
+        assert rbp.cost() == zipper_rbp_cost_estimate(d, length)
+        assert prbp.stats().peak_red <= d + 2
+        assert rbp.stats().peak_red <= d + 2
+
+    @pytest.mark.parametrize("d", [3, 4, 6])
+    def test_proposition44_prbp_wins_for_d_at_least_3(self, d):
+        length = 10
+        inst = zipper_instance(d, length)
+        assert zipper_prbp_schedule(inst).cost() < zipper_rbp_schedule(inst).cost()
+
+    def test_length_one_is_rejected_by_the_generator(self):
+        with pytest.raises(ValueError):
+            zipper_instance(3, 1)
+
+    def test_length_two_edge_case(self):
+        inst = zipper_instance(3, 2)
+        assert zipper_prbp_schedule(inst).validate().is_terminal()
+
+
+class TestTrees:
+    @pytest.mark.parametrize("k,depth", [(2, 2), (2, 4), (2, 6), (3, 3), (3, 4), (4, 4)])
+    def test_costs_match_appendix_a2(self, k, depth):
+        inst = kary_tree_instance(k, depth)
+        assert tree_rbp_schedule(inst).cost() == optimal_rbp_tree_cost(k, depth)
+        assert tree_prbp_schedule(inst).cost() == optimal_prbp_tree_cost(k, depth)
+
+    @pytest.mark.parametrize("k,depth", [(2, 3), (2, 5), (3, 4)])
+    def test_peak_memory_is_k_plus_1(self, k, depth):
+        inst = kary_tree_instance(k, depth)
+        assert tree_rbp_schedule(inst).stats().peak_red <= k + 1
+        assert tree_prbp_schedule(inst).stats().peak_red <= k + 1
+
+    def test_prbp_gap_grows_with_depth(self):
+        gaps = [
+            tree_rbp_schedule(kary_tree_instance(2, d)).cost()
+            - tree_prbp_schedule(kary_tree_instance(2, d)).cost()
+            for d in (3, 4, 5)
+        ]
+        assert gaps == sorted(gaps)
+        assert gaps[0] > 0
+
+
+class TestCollectionGadget:
+    def test_full_pebbles_give_trivial_cost(self):
+        inst = pebble_collection_instance(3, 15)
+        assert collection_full_rbp_schedule(inst).cost() == inst.dag.trivial_cost()
+        assert collection_full_prbp_schedule(inst).cost() == inst.dag.trivial_cost()
+
+    def test_requires_d_plus_2(self):
+        with pytest.raises(SolverError):
+            collection_full_prbp_schedule(pebble_collection_instance(3, 10), r=4)
+
+
+class TestFanIn:
+    def test_trivial_cost_with_three_pebbles(self):
+        inst = fanin_groups_instance(7, 20)
+        schedule = fanin_groups_prbp_schedule(inst)
+        assert schedule.cost() == inst.dag.trivial_cost() == 8
+        assert schedule.stats().peak_red <= 3
+
+
+class TestFFT:
+    @pytest.mark.parametrize("m,r", [(8, 4), (16, 4), (16, 8), (32, 8)])
+    def test_blocked_strategy_is_valid(self, m, r):
+        inst = fft_instance(m)
+        rbp = fft_blocked_rbp_schedule(inst, r=r)
+        assert rbp.stats().peak_red <= r
+        prbp = fft_blocked_prbp_schedule(inst, r=r)
+        assert prbp.cost() == rbp.cost()
+
+    def test_larger_cache_reduces_io(self):
+        inst = fft_instance(32)
+        assert fft_blocked_rbp_schedule(inst, r=16).cost() < fft_blocked_rbp_schedule(inst, r=4).cost()
+
+    def test_io_has_the_right_shape(self):
+        # cost ≈ 2m per pass, ceil(log m / s) passes
+        inst = fft_instance(64)
+        cost_r4 = fft_blocked_rbp_schedule(inst, r=4).cost()
+        assert cost_r4 == 2 * 64 * 6  # one pass per level at s = 1
+
+    def test_requires_r_at_least_4(self):
+        with pytest.raises(SolverError):
+            fft_blocked_rbp_schedule(fft_instance(8), r=3)
+
+
+class TestMatMul:
+    @pytest.mark.parametrize("dims,r", [((3, 3, 3), 9), ((4, 4, 4), 16), ((2, 5, 3), 8)])
+    def test_tiled_strategy_is_valid(self, dims, r):
+        inst = matmul_instance(*dims)
+        schedule = matmul_tiled_prbp_schedule(inst, r=r)
+        assert schedule.stats().peak_red <= r
+        assert schedule.cost() >= inst.dag.trivial_cost()
+
+    def test_larger_cache_reduces_io(self):
+        inst = matmul_instance(6, 6, 6)
+        small = matmul_tiled_prbp_schedule(inst, r=4).cost()
+        large = matmul_tiled_prbp_schedule(inst, r=16).cost()
+        assert large < small
+
+    def test_requires_r_at_least_4(self):
+        with pytest.raises(SolverError):
+            matmul_tiled_prbp_schedule(matmul_instance(3, 3, 3), r=3)
+
+
+class TestAttention:
+    @pytest.mark.parametrize("m,d", [(4, 2), (6, 2), (4, 3)])
+    def test_flash_strategy_is_valid(self, m, d):
+        inst = attention_instance(m, d)
+        schedule = attention_flash_prbp_schedule(inst, r=max(d * d + d + 4, 2 * d + 4))
+        assert schedule.stats().peak_red <= max(d * d + d + 4, 2 * d + 4)
+        assert schedule.cost() >= inst.dag.trivial_cost()
+
+    def test_larger_cache_reduces_io(self):
+        inst = attention_instance(8, 2)
+        small = attention_flash_prbp_schedule(inst, r=2 * 2 + 4).cost()
+        large = attention_flash_prbp_schedule(inst, r=8 * 2 + 6).cost()
+        assert large < small
+
+    def test_rejects_softmax_instance(self):
+        with pytest.raises(SolverError):
+            attention_flash_prbp_schedule(attention_instance(4, 2, include_softmax=True))
