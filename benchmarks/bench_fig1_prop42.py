@@ -1,34 +1,37 @@
 """E01 — Figure 1 / Proposition 4.2: OPT_RBP = 3 vs OPT_PRBP = 2 at r = 4.
 
-Regenerates the paper's first quantitative claim by running the exhaustive
-optimal solvers on the Figure 1 DAG and cross-checking the Appendix A.1
-hand-written strategies.
+Regenerates the paper's first quantitative claim through the unified
+``repro.api`` facade: the auto-dispatch portfolio runs the exhaustive optimal
+solvers on the 10-node Figure 1 DAG, and the named ``figure1`` solver
+replays the Appendix A.1 hand-written strategies as a cross-check.
 """
 
+from repro.api import PebblingProblem, solve
 from repro.dags import figure1_gadget
-from repro.solvers.exhaustive import optimal_prbp_cost, optimal_rbp_cost
-from repro.solvers.structured import figure1_prbp_schedule, figure1_rbp_schedule
 
 
 def bench_opt_rbp_figure1(benchmark):
-    """Exhaustive OPT_RBP on Figure 1 (paper: 3)."""
-    dag = figure1_gadget()
-    cost = benchmark(lambda: optimal_rbp_cost(dag, 4))
-    assert cost == 3
+    """Exhaustive OPT_RBP on Figure 1 via solve() (paper: 3)."""
+    problem = PebblingProblem(figure1_gadget(), r=4, game="rbp")
+    result = benchmark(lambda: solve(problem))
+    assert result.cost == 3 and result.solver == "exhaustive" and result.optimal
 
 
 def bench_opt_prbp_figure1(benchmark):
-    """Exhaustive OPT_PRBP on Figure 1 (paper: 2)."""
-    dag = figure1_gadget()
-    cost = benchmark(lambda: optimal_prbp_cost(dag, 4))
-    assert cost == 2
+    """Exhaustive OPT_PRBP on Figure 1 via solve() (paper: 2)."""
+    problem = PebblingProblem(figure1_gadget(), r=4, game="prbp")
+    result = benchmark(lambda: solve(problem))
+    assert result.cost == 2 and result.solver == "exhaustive" and result.optimal
 
 
 def bench_appendix_a1_strategies(benchmark):
-    """Replaying the Appendix A.1 strategies through the engines."""
+    """Replaying the Appendix A.1 strategies through the named registry solver."""
+    dag = figure1_gadget()
 
     def run():
-        return figure1_rbp_schedule().cost(), figure1_prbp_schedule().cost()
+        rbp = solve(PebblingProblem(dag, 4, game="rbp"), solver="figure1")
+        prbp = solve(PebblingProblem(dag, 4, game="prbp"), solver="figure1")
+        return rbp.cost, prbp.cost
 
     rbp_cost, prbp_cost = benchmark(run)
     assert (rbp_cost, prbp_cost) == (3, 2)

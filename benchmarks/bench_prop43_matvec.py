@@ -2,36 +2,41 @@
 
 The PRBP column-streaming strategy achieves the trivial cost for every
 ``m + 3 <= r``; the RBP lower bound of the proposition is strictly larger for
-``m >= 3``, so partial computations win on this family at every size.
+``m >= 3``, so partial computations win on this family at every size.  All
+instances go through the unified ``repro.api`` facade: the ``matvec`` family
+tag routes the PRBP side to the streaming strategy, and the RBP side to the
+greedy fallback.
 """
 
 import pytest
 
 from repro.analysis.reporting import format_table
+from repro.api import PebblingProblem, solve
 from repro.bounds.analytic import matvec_prbp_optimal_cost, matvec_rbp_lower_bound
-from repro.dags import matvec_instance
-from repro.solvers.greedy import greedy_rbp_schedule
-from repro.solvers.structured import matvec_prbp_schedule
+from repro.dags import matvec_dag
 
 SIZES = [3, 4, 6, 8]
 
 
 @pytest.mark.parametrize("m", SIZES)
 def bench_matvec_prbp_strategy(benchmark, m):
-    """Validated PRBP column-streaming strategy (paper: m² + 2m)."""
-    inst = matvec_instance(m)
-    cost = benchmark(lambda: matvec_prbp_schedule(inst).cost())
-    assert cost == matvec_prbp_optimal_cost(m) == m * m + 2 * m
-    assert cost < matvec_rbp_lower_bound(m)
+    """Auto-dispatched PRBP column-streaming strategy (paper: m² + 2m)."""
+    problem = PebblingProblem(matvec_dag(m), r=m + 3, game="prbp")
+    result = benchmark(lambda: solve(problem, exact_node_limit=0))
+    assert result.solver == "matvec-streaming"
+    assert result.cost == matvec_prbp_optimal_cost(m) == m * m + 2 * m
+    assert result.cost < matvec_rbp_lower_bound(m)
+    assert result.optimal  # the strategy meets the trivial-cost lower bound
 
 
 @pytest.mark.parametrize("m", [4, 6])
 def bench_matvec_rbp_greedy_upper_bound(benchmark, m):
-    """A greedy RBP pebbling at r = m + 3 (upper bound; must exceed the RBP lower bound region)."""
-    inst = matvec_instance(m)
-    cost = benchmark(lambda: greedy_rbp_schedule(inst.dag, m + 3).cost())
-    assert cost >= matvec_rbp_lower_bound(m) - (m - 1)  # at least the trivial cost
-    assert cost >= matvec_prbp_optimal_cost(m)
+    """The greedy RBP fallback at r = m + 3 (upper bound; dominated by the PRBP optimum)."""
+    problem = PebblingProblem(matvec_dag(m), r=m + 3, game="rbp")
+    result = benchmark(lambda: solve(problem, exact_node_limit=0))
+    assert result.solver == "greedy"
+    assert result.cost >= matvec_rbp_lower_bound(m) - (m - 1)  # at least the trivial cost
+    assert result.cost >= matvec_prbp_optimal_cost(m)
 
 
 def bench_matvec_table(benchmark):
@@ -40,9 +45,8 @@ def bench_matvec_table(benchmark):
     def build():
         rows = []
         for m in SIZES:
-            inst = matvec_instance(m)
-            prbp = matvec_prbp_schedule(inst).cost()
-            rows.append([m, inst.dag.trivial_cost(), prbp, matvec_rbp_lower_bound(m)])
+            res = solve(PebblingProblem(matvec_dag(m), m + 3, game="prbp"), exact_node_limit=0)
+            rows.append([m, res.problem.trivial_cost, res.cost, matvec_rbp_lower_bound(m)])
         return rows
 
     rows = build()

@@ -1,43 +1,52 @@
 """E04 — Proposition 4.5 / Appendix A.2: k-ary reduction trees at r = k + 1.
 
 Closed forms: OPT_RBP = k^d + 2·k^(d-1) - 1 and OPT_PRBP = k^d + 2·k^(d-k) - 1.
-The structured strategies replayed through the engines must land exactly on
-these values, and the exhaustive solver confirms optimality at small depth.
+All instances are dispatched through the unified ``repro.api`` facade; the
+``kary_tree`` family tag routes them to the Appendix A.2 structured
+strategies, whose replayed costs must land exactly on the closed forms — and,
+since the closed forms double as lower bounds at the critical capacity, every
+result reports ``optimal`` without an exhaustive search.
 """
 
 import pytest
 
 from repro.analysis.reporting import format_table
-from repro.dags import kary_tree_instance
+from repro.api import PebblingProblem, solve
+from repro.dags import kary_tree_dag
 from repro.dags.trees import optimal_prbp_tree_cost, optimal_rbp_tree_cost
-from repro.solvers.exhaustive import optimal_prbp_cost, optimal_rbp_cost
-from repro.solvers.structured import tree_prbp_schedule, tree_rbp_schedule
 
 CASES = [(2, 3), (2, 5), (2, 7), (3, 3), (3, 4), (4, 4)]
 
 
 @pytest.mark.parametrize("k,depth", CASES)
 def bench_tree_rbp_strategy(benchmark, k, depth):
-    """Appendix A.2 RBP strategy: k^d + 2·k^(d-1) - 1."""
-    inst = kary_tree_instance(k, depth)
-    cost = benchmark(lambda: tree_rbp_schedule(inst).cost())
-    assert cost == optimal_rbp_tree_cost(k, depth)
+    """Appendix A.2 RBP strategy via solve(): k^d + 2·k^(d-1) - 1."""
+    problem = PebblingProblem(kary_tree_dag(k, depth), r=k + 1, game="rbp")
+    result = benchmark(lambda: solve(problem, exact_node_limit=0))
+    assert result.solver == "tree"
+    assert result.cost == optimal_rbp_tree_cost(k, depth)
+    assert result.optimal
 
 
 @pytest.mark.parametrize("k,depth", CASES)
 def bench_tree_prbp_strategy(benchmark, k, depth):
-    """Appendix A.2 PRBP strategy: k^d + 2·k^(d-k) - 1."""
-    inst = kary_tree_instance(k, depth)
-    cost = benchmark(lambda: tree_prbp_schedule(inst).cost())
-    assert cost == optimal_prbp_tree_cost(k, depth)
+    """Appendix A.2 PRBP strategy via solve(): k^d + 2·k^(d-k) - 1."""
+    problem = PebblingProblem(kary_tree_dag(k, depth), r=k + 1, game="prbp")
+    result = benchmark(lambda: solve(problem, exact_node_limit=0))
+    assert result.solver == "tree"
+    assert result.cost == optimal_prbp_tree_cost(k, depth)
+    assert result.optimal
 
 
 def bench_tree_exhaustive_confirms_formulas(benchmark):
     """Exhaustive optimum at depth 3 (binary): both formulas are optimal."""
-    inst = kary_tree_instance(2, 3)
+    dag = kary_tree_dag(2, 3)
 
     def run():
-        return optimal_rbp_cost(inst.dag, 3), optimal_prbp_cost(inst.dag, 3)
+        rbp = solve(PebblingProblem(dag, 3, game="rbp"), exact_node_limit=dag.n)
+        prbp = solve(PebblingProblem(dag, 3, game="prbp"), exact_node_limit=dag.n)
+        assert rbp.solver == prbp.solver == "exhaustive"
+        return rbp.cost, prbp.cost
 
     rbp, prbp = benchmark(run)
     assert rbp == optimal_rbp_tree_cost(2, 3) == 15
@@ -50,14 +59,16 @@ def bench_tree_table(benchmark):
     def build():
         rows = []
         for k, depth in CASES:
-            inst = kary_tree_instance(k, depth)
+            dag = kary_tree_dag(k, depth)
+            rbp = solve(PebblingProblem(dag, k + 1, game="rbp"), exact_node_limit=0)
+            prbp = solve(PebblingProblem(dag, k + 1, game="prbp"), exact_node_limit=0)
             rows.append(
                 [
                     k,
                     depth,
-                    tree_rbp_schedule(inst).cost(),
+                    rbp.cost,
                     optimal_rbp_tree_cost(k, depth),
-                    tree_prbp_schedule(inst).cost(),
+                    prbp.cost,
                     optimal_prbp_tree_cost(k, depth),
                 ]
             )

@@ -2,38 +2,44 @@
 
 The blocked strategy's measured I/O and the S-dominator counting bound are
 reported side by side; the achievable cost must dominate the bound and both
-shrink as the cache grows (the crossover structure of the original RBP result
-is preserved).
+shrink as the cache grows.  Instances are dispatched through the unified
+``repro.api`` facade — the ``fft`` family tag routes them to the blocked
+strategy and each result already carries the best known lower bound.
 """
 
 import pytest
 
 from repro.analysis.reporting import format_table
+from repro.api import PebblingProblem, solve
 from repro.bounds.analytic import fft_prbp_lower_bound
-from repro.dags import fft_instance
-from repro.solvers.structured import fft_blocked_prbp_schedule
+from repro.dags import fft_dag
 
 CASES = [(16, 4), (32, 4), (64, 4), (32, 8), (64, 8), (64, 16)]
 
 
 @pytest.mark.parametrize("m,r", CASES)
 def bench_fft_blocked_strategy(benchmark, m, r):
-    """Blocked PRBP strategy: O(m log m / log r) I/O, never below the Theorem 6.9 bound."""
-    inst = fft_instance(m)
-    cost = benchmark(lambda: fft_blocked_prbp_schedule(inst, r=r).cost())
-    assert cost >= fft_prbp_lower_bound(m, r)
-    assert cost >= inst.dag.trivial_cost()
+    """Blocked PRBP strategy via the named registry solver: O(m log m / log r) I/O.
+
+    Named dispatch pins the paper's strategy; the auto portfolio may pick
+    greedy instead at small r, where Belady eviction genuinely beats the
+    blocked schedule.
+    """
+    problem = PebblingProblem(fft_dag(m), r, game="prbp")
+    result = benchmark(lambda: solve(problem, solver="fft-blocked"))
+    assert result.solver == "fft-blocked"
+    assert result.cost >= fft_prbp_lower_bound(m, r)
+    assert result.lower_bound is not None and result.cost >= result.lower_bound
 
 
 def bench_fft_table(benchmark):
-    """The Theorem 6.9 table: measured blocked cost vs the PRBP lower bound."""
+    """The Theorem 6.9 table: measured blocked cost vs the best known lower bound."""
 
     def build():
         rows = []
         for m, r in CASES:
-            inst = fft_instance(m)
-            cost = fft_blocked_prbp_schedule(inst, r=r).cost()
-            rows.append([m, r, inst.dag.trivial_cost(), fft_prbp_lower_bound(m, r), cost])
+            res = solve(PebblingProblem(fft_dag(m), r, game="prbp"), solver="fft-blocked")
+            rows.append([m, r, res.problem.trivial_cost, res.lower_bound, res.cost])
         return rows
 
     rows = build()
@@ -41,7 +47,7 @@ def bench_fft_table(benchmark):
     print()
     print(
         format_table(
-            ["m", "r", "trivial", "PRBP lower bound", "blocked strategy"],
+            ["m", "r", "trivial", "best lower bound", "blocked strategy"],
             rows,
             title="Theorem 6.9 — FFT I/O in PRBP",
         )

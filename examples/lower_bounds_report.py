@@ -1,36 +1,28 @@
 #!/usr/bin/env python3
 """Lower bounds for FFT, matrix multiplication and attention in PRBP (Section 6).
 
-For each of the three application DAGs of Section 6.3 the script reports the
-trivial cost, the PRBP lower bound obtained from the adapted partition
-concepts (Theorems 6.9–6.11 with the explicit constants of the proofs), and
-the measured I/O of an actual validated strategy (blocked FFT, tiled matmul,
-flash-attention-style tiling).  The strategies always dominate the bounds and
-show the predicted scaling in the cache size r.
+For each of the three application DAGs of Section 6.3 the script poses a grid
+of :class:`repro.PebblingProblem` instances and dispatches them through the
+unified ``solve()`` facade, naming the registered solver for each family
+(blocked FFT, tiled matmul, flash-attention-style tiling) so the tables
+measure exactly the paper's strategies.  Each :class:`repro.SolveResult`
+already carries the best Section 6 lower bound, so the tables come straight
+out of the results.
 
 Run with:  python examples/lower_bounds_report.py
 """
 
+from repro import PebblingProblem, solve
 from repro.analysis.reporting import format_table
-from repro.bounds.analytic import (
-    attention_prbp_lower_bound,
-    fft_prbp_lower_bound,
-    matmul_prbp_lower_bound,
-)
-from repro.dags import attention_instance, fft_instance, matmul_instance
-from repro.solvers.structured import (
-    attention_flash_prbp_schedule,
-    fft_blocked_prbp_schedule,
-    matmul_tiled_prbp_schedule,
-)
+from repro.dags import attention_dag, fft_dag, matmul_dag
 
 
 def fft_report() -> None:
     rows = []
     for m, r in [(16, 4), (32, 4), (64, 4), (64, 8), (64, 16)]:
-        inst = fft_instance(m)
-        cost = fft_blocked_prbp_schedule(inst, r=r).cost()
-        rows.append([m, r, inst.dag.trivial_cost(), fft_prbp_lower_bound(m, r), cost])
+        res = solve(PebblingProblem(fft_dag(m), r, game="prbp"), solver="fft-blocked")
+        assert res.lower_bound_source in ("thm6.9", "trivial")
+        rows.append([m, r, res.problem.trivial_cost, res.lower_bound, res.cost])
     print(
         format_table(
             ["m", "r", "trivial", "Thm 6.9 lower bound", "blocked strategy"],
@@ -43,11 +35,8 @@ def fft_report() -> None:
 def matmul_report() -> None:
     rows = []
     for dims, r in [((6, 6, 6), 8), ((6, 6, 6), 18), ((8, 8, 8), 8), ((8, 8, 8), 32)]:
-        inst = matmul_instance(*dims)
-        cost = matmul_tiled_prbp_schedule(inst, r=r).cost()
-        rows.append(
-            ["x".join(map(str, dims)), r, inst.dag.trivial_cost(), matmul_prbp_lower_bound(*dims, r), cost]
-        )
+        res = solve(PebblingProblem(matmul_dag(*dims), r, game="prbp"), solver="matmul-tiled")
+        rows.append(["x".join(map(str, dims)), r, res.problem.trivial_cost, res.lower_bound, res.cost])
     print(
         format_table(
             ["dims", "r", "trivial", "Thm 6.10 lower bound", "tiled strategy"],
@@ -60,10 +49,9 @@ def matmul_report() -> None:
 def attention_report() -> None:
     rows = []
     for m, d, r in [(12, 2, 8), (12, 2, 20), (16, 4, 24), (16, 4, 48)]:
-        inst = attention_instance(m, d)
-        cost = attention_flash_prbp_schedule(inst, r=r).cost()
+        res = solve(PebblingProblem(attention_dag(m, d), r, game="prbp"), solver="attention-flash")
         regime = "small cache" if r <= d * d else "large cache"
-        rows.append([m, d, r, regime, inst.dag.trivial_cost(), attention_prbp_lower_bound(m, d, r), cost])
+        rows.append([m, d, r, regime, res.problem.trivial_cost, res.lower_bound, res.cost])
     print(
         format_table(
             ["m", "d", "r", "regime", "trivial", "Thm 6.11 lower bound", "flash-style strategy"],

@@ -1,45 +1,46 @@
 #!/usr/bin/env python3
 """Matrix–vector multiplication: how partial computations remove all non-trivial I/O.
 
-Reproduces Proposition 4.3: for A·x with an m×m matrix and a cache of
-r = m + 3, the PRBP column-streaming strategy reads every input exactly once
-and writes every output exactly once (cost m² + 2m), while any RBP strategy
-must pay at least m² + 3m − 1.  A greedy RBP pebbling and a naive
-spill-everything baseline are shown for scale.
+Reproduces Proposition 4.3 through the unified facade: for A·x with an m×m
+matrix and a cache of r = m + 3, ``solve()`` auto-dispatches the PRBP problem
+to the column-streaming strategy (the DAG carries a ``matvec`` family tag)
+and reads every input exactly once (cost m² + 2m), while any RBP strategy
+must pay at least m² + 3m − 1.  The RBP side and a naive spill-everything
+baseline are solved through the same facade for scale.
 
 Run with:  python examples/matvec_io.py [max_m]
 """
 
 import sys
 
+from repro import PebblingProblem, solve
 from repro.analysis.reporting import format_table
 from repro.bounds.analytic import matvec_prbp_optimal_cost, matvec_rbp_lower_bound
-from repro.dags import matvec_instance
-from repro.solvers.baselines import naive_prbp_schedule
-from repro.solvers.greedy import greedy_rbp_schedule
-from repro.solvers.structured import matvec_prbp_schedule
+from repro.dags import matvec_dag
 
 
 def main(max_m: int = 8) -> None:
     rows = []
     for m in range(3, max_m + 1):
-        inst = matvec_instance(m)
+        dag = matvec_dag(m)
         r = m + 3
-        prbp = matvec_prbp_schedule(inst, r=r)
-        rbp_greedy = greedy_rbp_schedule(inst.dag, r)
-        naive = naive_prbp_schedule(inst.dag)
+        prbp = solve(PebblingProblem(dag, r, game="prbp"), exact_node_limit=0)
+        rbp = solve(PebblingProblem(dag, r, game="rbp"), exact_node_limit=0)
+        naive = solve(PebblingProblem(dag, r, game="prbp"), solver="naive")
+        assert prbp.solver == "matvec-streaming"
         rows.append(
             [
                 m,
                 r,
-                inst.dag.trivial_cost(),
-                prbp.cost(),
+                dag.trivial_cost(),
+                prbp.cost,
                 matvec_rbp_lower_bound(m),
-                rbp_greedy.cost(),
-                naive.cost(),
+                rbp.cost,
+                naive.cost,
             ]
         )
-        assert prbp.cost() == matvec_prbp_optimal_cost(m)
+        assert prbp.cost == matvec_prbp_optimal_cost(m)
+        assert prbp.optimal  # trivial cost reached => lower bound met
     print(
         format_table(
             [

@@ -1,43 +1,44 @@
 #!/usr/bin/env python3
 """Quickstart: the Figure 1 example of the paper, end to end.
 
-Builds the Figure 1 DAG, computes the optimal I/O cost in both the classic
-red-blue pebble game (RBP) and the partial-computing extension (PRBP) with a
-fast memory of r = 4, prints the optimal PRBP move sequence, and shows how
-any RBP strategy converts to a PRBP strategy of the same cost
-(Proposition 4.1).
+Poses the Figure 1 DAG as two :class:`repro.PebblingProblem` instances (one
+per game) and hands both to the unified :func:`repro.solve` facade: the
+auto-dispatch portfolio picks the exhaustive solver on this 10-node DAG and
+returns validated :class:`repro.SolveResult` objects with the optimal costs,
+the schedules and the best known lower bound.  The script then prints the
+optimal PRBP move sequence and shows how any RBP strategy converts to a PRBP
+strategy of the same cost (Proposition 4.1).
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import convert_rbp_to_prbp, figure1_gadget
+from repro import PebblingProblem, convert_rbp_to_prbp, figure1_gadget, solve
 from repro.analysis.reporting import format_table
-from repro.solvers.exhaustive import optimal_prbp_schedule, optimal_rbp_schedule
-from repro.solvers.structured import figure1_prbp_schedule
 
 
 def main() -> None:
     dag = figure1_gadget()
     r = 4
     print(f"Figure 1 DAG: {dag.n} nodes, {dag.m} edges, trivial cost {dag.trivial_cost()}")
+    print(f"family tag: {dag.family}")
 
-    rbp = optimal_rbp_schedule(dag, r)
-    prbp = optimal_prbp_schedule(dag, r)
+    rbp = solve(PebblingProblem(dag, r, game="rbp"))
+    prbp = solve(PebblingProblem(dag, r, game="prbp"))
     print()
     print(
         format_table(
-            ["model", "optimal I/O cost", "moves in schedule"],
+            ["model", "optimal I/O cost", "solver", "optimal?", "moves"],
             [
-                ["RBP (Hong & Kung)", rbp.cost(), len(rbp)],
-                ["PRBP (partial computations)", prbp.cost(), len(prbp)],
+                ["RBP (Hong & Kung)", rbp.cost, rbp.solver, rbp.optimal, len(rbp.schedule)],
+                ["PRBP (partial computations)", prbp.cost, prbp.solver, prbp.optimal, len(prbp.schedule)],
             ],
             title=f"Proposition 4.2 at r = {r}",
         )
     )
 
     print()
-    print("Optimal PRBP schedule (the Appendix A.1 strategy finds the same cost):")
-    for move in figure1_prbp_schedule().moves:
+    print("Optimal PRBP schedule found by solve():")
+    for move in prbp.schedule.moves:
         kind = "I/O " if move.is_io else "    "
         if move.edge is not None:
             desc = f"partial compute {dag.label(move.edge[0])} -> {dag.label(move.edge[1])}"
@@ -45,11 +46,11 @@ def main() -> None:
             desc = f"{move.kind.value} {dag.label(move.node)}"
         print(f"  {kind}{desc}")
 
-    converted = convert_rbp_to_prbp(rbp)
+    converted = convert_rbp_to_prbp(rbp.schedule)
     print()
     print(
         "Proposition 4.1: the optimal RBP schedule converts to a valid PRBP schedule "
-        f"of the same cost ({converted.cost()} == {rbp.cost()})."
+        f"of the same cost ({converted.cost()} == {rbp.cost})."
     )
 
 

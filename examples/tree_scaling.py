@@ -1,55 +1,60 @@
 #!/usr/bin/env python3
 """Reduction trees: the RBP/PRBP gap as a function of depth and arity.
 
-Reproduces Proposition 4.5 and Appendix A.2: at the critical cache size
-r = k + 1, the optimal RBP cost of a k-ary reduction tree is
-k^d + 2·k^(d-1) - 1 while PRBP only pays k^d + 2·k^(d-k) - 1 — partial
-computations make the bottom k + 1 levels free.  The strategies are replayed
-through the engines, and for small trees the exhaustive solver confirms they
-are optimal.
+Reproduces Proposition 4.5 and Appendix A.2 through the unified facade: every
+instance is posed as a :class:`repro.PebblingProblem` at the critical cache
+size ``r = k + 1`` and dispatched with ``solve()``.  Because the tree DAGs
+carry a ``kary_tree`` family tag, the portfolio selects the Appendix A.2
+structured strategies; the closed-form costs double as lower bounds at the
+critical capacity, so every result comes back provably ``optimal`` even
+though no exhaustive search ran.
 
 Run with:  python examples/tree_scaling.py
 """
 
+from repro import PebblingProblem, solve
 from repro.analysis.reporting import format_table
 from repro.dags import kary_tree_instance
 from repro.dags.trees import optimal_prbp_tree_cost, optimal_rbp_tree_cost
-from repro.solvers.exhaustive import optimal_prbp_cost, optimal_rbp_cost
-from repro.solvers.structured import tree_prbp_schedule, tree_rbp_schedule
 
 
 def main() -> None:
     rows = []
     for k, depth in [(2, 3), (2, 4), (2, 5), (2, 6), (3, 3), (3, 4), (4, 4)]:
-        inst = kary_tree_instance(k, depth)
-        rbp = tree_rbp_schedule(inst).cost()
-        prbp = tree_prbp_schedule(inst).cost()
+        dag = kary_tree_instance(k, depth).dag
+        rbp = solve(PebblingProblem(dag, k + 1, game="rbp"), exact_node_limit=0)
+        prbp = solve(PebblingProblem(dag, k + 1, game="prbp"), exact_node_limit=0)
+        assert rbp.solver == prbp.solver == "tree"
         rows.append(
             [
                 k,
                 depth,
-                inst.dag.n,
-                rbp,
+                dag.n,
+                rbp.cost,
                 optimal_rbp_tree_cost(k, depth),
-                prbp,
+                prbp.cost,
                 optimal_prbp_tree_cost(k, depth),
-                f"{rbp / prbp:.2f}x",
+                f"{rbp.cost / prbp.cost:.2f}x",
+                "yes" if (rbp.optimal and prbp.optimal) else "no",
             ]
         )
     print(
         format_table(
-            ["k", "depth", "nodes", "RBP", "RBP formula", "PRBP", "PRBP formula", "gap"],
+            ["k", "depth", "nodes", "RBP", "RBP formula", "PRBP", "PRBP formula", "gap", "optimal"],
             rows,
             title="Proposition 4.5 / Appendix A.2 — k-ary reduction trees at r = k + 1",
         )
     )
 
-    # exhaustive confirmation on the smallest interesting instance
-    small = kary_tree_instance(2, 3)
+    # exhaustive confirmation on the smallest interesting instance (15 nodes,
+    # so the exact step needs a slightly raised node limit)
+    small = kary_tree_instance(2, 3).dag
+    rbp = solve(PebblingProblem(small, 3, game="rbp"), exact_node_limit=15)
+    prbp = solve(PebblingProblem(small, 3, game="prbp"), exact_node_limit=15)
     print()
     print(
-        "Exhaustive check (binary tree, depth 3, r = 3): "
-        f"OPT_RBP = {optimal_rbp_cost(small.dag, 3)}, OPT_PRBP = {optimal_prbp_cost(small.dag, 3)}"
+        f"Exhaustive check (binary tree, depth 3, r = 3): OPT_RBP = {rbp.cost} "
+        f"(solver={rbp.solver}), OPT_PRBP = {prbp.cost} (solver={prbp.solver})"
     )
 
 

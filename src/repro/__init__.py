@@ -8,15 +8,30 @@ lower-bound machinery the paper adapts to PRBP.
 
 Quick start
 -----------
->>> from repro import figure1_gadget, optimal_rbp_cost, optimal_prbp_cost
+The unified facade in :mod:`repro.api` is the canonical entry point: pose a
+:class:`PebblingProblem`, call :func:`solve`, and the auto-dispatch portfolio
+picks an exhaustive optimum, a family-matched structured strategy, or the
+greedy fallback:
+
+>>> from repro import PebblingProblem, figure1_gadget, solve
 >>> dag = figure1_gadget()
->>> optimal_rbp_cost(dag, r=4)
+>>> solve(PebblingProblem(dag, r=4, game="rbp")).cost
 3
->>> optimal_prbp_cost(dag, r=4)
+>>> solve(PebblingProblem(dag, r=4, game="prbp")).cost
 2
+
+The per-solver free functions remain available for direct use:
+
+>>> from repro import optimal_rbp_cost, optimal_prbp_cost
+>>> optimal_rbp_cost(dag, r=4), optimal_prbp_cost(dag, r=4)
+(3, 2)
 
 Sub-packages
 ------------
+``repro.api``
+    The unified facade: :class:`PebblingProblem`, :func:`solve`, the solver
+    registry (:func:`register_solver`, :func:`list_solvers`) and
+    :class:`SolveResult`.
 ``repro.core``
     DAG substrate, both game engines, schedules, variants.
 ``repro.dags``
@@ -32,9 +47,23 @@ Sub-packages
     benchmarks.
 """
 
+from .api import (
+    PebblingProblem,
+    SolveResult,
+    Solver,
+    SolverInfo,
+    best_lower_bound,
+    get_solver,
+    list_solvers,
+    register_solver,
+    solve,
+)
 from .core import (
     ComputationalDAG,
+    DAGFamily,
     GameVariant,
+    PebblingError,
+    SolverError,
     MoveKind,
     ONE_SHOT,
     PRBPGame,
@@ -83,9 +112,22 @@ from .solvers import (
 __version__ = "1.0.0"
 
 __all__ = [
+    # api facade
+    "PebblingProblem",
+    "SolveResult",
+    "Solver",
+    "SolverInfo",
+    "solve",
+    "register_solver",
+    "get_solver",
+    "list_solvers",
+    "best_lower_bound",
     # core
     "ComputationalDAG",
+    "DAGFamily",
     "GameVariant",
+    "PebblingError",
+    "SolverError",
     "MoveKind",
     "ONE_SHOT",
     "RECOMPUTE",

@@ -1,37 +1,41 @@
-"""RBP-vs-PRBP comparison harness.
+"""RBP-vs-PRBP comparison harness, built on the :mod:`repro.api` facade.
 
-:func:`compare_models` bundles, for one DAG and capacity, the quantities the
-paper's examples revolve around: the trivial cost, the optimal (or best
-available) cost in both games, and their gap.  On small DAGs it uses the
-exhaustive solvers; on larger ones it falls back to the greedy strategies and
-marks the results as upper bounds.  The examples and several benchmarks print
-these records directly.
+:func:`compare_models` poses the same DAG/capacity as two
+:class:`~repro.api.PebblingProblem` instances (one per game), hands both to
+:func:`repro.api.solve` with the auto-dispatch portfolio, and returns a
+:class:`ModelComparison` — a thin view over the two
+:class:`~repro.api.SolveResult` objects that keeps the record-style fields
+the examples and benchmarks print.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
+from ..api.dispatch import AUTO_EXACT_NODE_LIMIT, solve
+from ..api.problem import PebblingProblem
+from ..api.result import SolveResult
 from ..core.dag import ComputationalDAG
 from ..core.exceptions import SolverError
 from ..core.variants import ONE_SHOT, GameVariant
-from ..solvers.exhaustive import optimal_prbp_cost, optimal_rbp_cost
-from ..solvers.greedy import greedy_rbp_schedule, topological_prbp_schedule
 
-__all__ = ["ModelComparison", "compare_models"]
+__all__ = ["ModelComparison", "compare_models", "EXACT_NODE_LIMIT"]
 
-#: Above this node count the exhaustive solvers are not attempted.
-EXACT_NODE_LIMIT = 14
+#: Above this node count the auto portfolio skips the exhaustive solvers
+#: (kept as an alias of the facade's limit for backwards compatibility).
+EXACT_NODE_LIMIT = AUTO_EXACT_NODE_LIMIT
 
 
 @dataclass(frozen=True)
 class ModelComparison:
     """Costs of one DAG under both games.
 
-    ``rbp_exact`` / ``prbp_exact`` record whether the corresponding cost is an
-    optimum (exhaustive solver) or only an achievable upper bound (greedy /
-    structured strategy).
+    ``rbp_exact`` / ``prbp_exact`` record whether the corresponding cost came
+    from an exact solver (exhaustive search) or is only an achievable upper
+    bound (greedy / structured strategy).  The full :class:`SolveResult` of
+    each side — schedule, stats, lower bound, winning solver — is available
+    as ``rbp_result`` / ``prbp_result`` when the side was solvable.
     """
 
     dag_name: str
@@ -42,6 +46,30 @@ class ModelComparison:
     rbp_exact: bool
     prbp_cost: Optional[int]
     prbp_exact: bool
+    rbp_result: Optional[SolveResult] = field(default=None, compare=False)
+    prbp_result: Optional[SolveResult] = field(default=None, compare=False)
+
+    @classmethod
+    def from_results(
+        cls,
+        dag: ComputationalDAG,
+        r: int,
+        rbp_result: Optional[SolveResult],
+        prbp_result: Optional[SolveResult],
+    ) -> "ModelComparison":
+        """Build the comparison view over two (possibly missing) solve results."""
+        return cls(
+            dag_name=dag.name,
+            n=dag.n,
+            r=r,
+            trivial_cost=dag.trivial_cost(),
+            rbp_cost=None if rbp_result is None else rbp_result.cost,
+            rbp_exact=rbp_result is not None and rbp_result.exact_solver,
+            prbp_cost=None if prbp_result is None else prbp_result.cost,
+            prbp_exact=prbp_result is not None and prbp_result.exact_solver,
+            rbp_result=rbp_result,
+            prbp_result=prbp_result,
+        )
 
     @property
     def gap(self) -> Optional[int]:
@@ -66,42 +94,21 @@ def compare_models(
 ) -> ModelComparison:
     """Compare RBP and PRBP costs on ``dag`` with capacity ``r``.
 
-    Exhaustive optima are used when the DAG has at most ``exact_node_limit``
-    nodes and the search stays within ``max_states``; otherwise the greedy
-    upper-bound strategies are reported and flagged as inexact.
+    Both games are dispatched through ``solve(..., solver="auto")``:
+    exhaustive optima below ``exact_node_limit`` nodes (within the
+    ``max_states`` search budget), the family-matched structured strategy
+    when the DAG carries a family tag, and the greedy upper-bound fallback
+    otherwise.  A game with no valid pebbling at all (e.g. RBP with
+    ``r < Δ_in + 1``) is reported as ``None``.
     """
-    rbp_cost: Optional[int] = None
-    prbp_cost: Optional[int] = None
-    rbp_exact = prbp_exact = False
-    use_exact = dag.n <= exact_node_limit
-    if use_exact:
+
+    def attempt(game: str) -> Optional[SolveResult]:
+        problem = PebblingProblem(dag, r, game=game, variant=variant)
         try:
-            rbp_cost = optimal_rbp_cost(dag, r, variant=variant, max_states=max_states)
-            rbp_exact = True
+            return solve(
+                problem, solver="auto", budget=max_states, exact_node_limit=exact_node_limit
+            )
         except SolverError:
-            rbp_cost = None
-        try:
-            prbp_cost = optimal_prbp_cost(dag, r, variant=variant, max_states=max_states)
-            prbp_exact = True
-        except SolverError:
-            prbp_cost = None
-    if rbp_cost is None:
-        try:
-            rbp_cost = greedy_rbp_schedule(dag, r, variant=variant).cost()
-        except SolverError:
-            rbp_cost = None
-    if prbp_cost is None:
-        try:
-            prbp_cost = topological_prbp_schedule(dag, r, variant=variant).cost()
-        except SolverError:
-            prbp_cost = None
-    return ModelComparison(
-        dag_name=dag.name,
-        n=dag.n,
-        r=r,
-        trivial_cost=dag.trivial_cost(),
-        rbp_cost=rbp_cost,
-        rbp_exact=rbp_exact,
-        prbp_cost=prbp_cost,
-        prbp_exact=prbp_exact,
-    )
+            return None
+
+    return ModelComparison.from_results(dag, r, attempt("rbp"), attempt("prbp"))

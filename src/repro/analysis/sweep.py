@@ -4,17 +4,23 @@ The benchmark modules all follow the same shape — vary one or two parameters
 of a DAG family, evaluate a handful of cost functions (lower bound, PRBP
 strategy, RBP strategy/baseline), and print the rows next to the paper's
 claim.  :func:`run_sweep` factors that loop out so benchmarks stay small and
-uniform.
+uniform, and :func:`run_solver_sweep` specialises it to the
+:func:`repro.api.solve` facade: one :class:`~repro.api.PebblingProblem` per
+parameter tuple, with cost / winning solver / optimality / lower bound
+collected automatically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..api.dispatch import solve
+from ..api.problem import PebblingProblem
+from ..core.exceptions import SolverError
 from .reporting import format_table
 
-__all__ = ["SweepResult", "run_sweep"]
+__all__ = ["SweepResult", "run_sweep", "run_solver_sweep"]
 
 
 @dataclass
@@ -57,5 +63,42 @@ def run_sweep(
     )
     for params in parameter_values:
         row = {name: fn(*params) for name, fn in metrics.items()}
+        result.rows.append((tuple(params), row))
+    return result
+
+
+def run_solver_sweep(
+    parameter_names: Sequence[str],
+    parameter_values: Iterable[Tuple[object, ...]],
+    problem_fn: Callable[..., PebblingProblem],
+    solver: str = "auto",
+    budget: Optional[int] = None,
+    **solve_options: object,
+) -> SweepResult:
+    """Sweep :func:`repro.api.solve` over a parameter grid.
+
+    ``problem_fn`` receives each parameter tuple unpacked and returns the
+    :class:`PebblingProblem` to solve; the collected metrics per row are
+    ``cost``, ``solver`` (the portfolio member that won), ``optimal``,
+    ``lower_bound`` and ``peak_red``.  A parameter point with no valid
+    pebbling records ``None`` for every metric instead of aborting the sweep.
+    """
+    metric_names = ("cost", "solver", "optimal", "lower_bound", "peak_red")
+    result = SweepResult(
+        parameter_names=tuple(parameter_names), metric_names=metric_names
+    )
+    for params in parameter_values:
+        problem = problem_fn(*params)
+        try:
+            res = solve(problem, solver=solver, budget=budget, **solve_options)
+            row: Dict[str, object] = {
+                "cost": res.cost,
+                "solver": res.solver,
+                "optimal": res.optimal,
+                "lower_bound": res.lower_bound,
+                "peak_red": res.stats.peak_red,
+            }
+        except SolverError:
+            row = {name: None for name in metric_names}
         result.rows.append((tuple(params), row))
     return result

@@ -1,0 +1,218 @@
+""":func:`solve` — the single entry point for posing and solving problems.
+
+``solve(problem)`` runs the auto-dispatch portfolio; ``solve(problem,
+solver="fft-blocked")`` runs one registered solver by name.  Either way the
+returned :class:`~repro.api.result.SolveResult` carries a schedule that has
+been replayed through the engine, so the reported cost is the cost of an
+actually legal pebbling.
+
+The ``"auto"`` portfolio, in order:
+
+1. **Exhaustive optimum** when the DAG is small enough
+   (``n <= exact_node_limit``) and the search finishes within ``budget``
+   expanded states.
+2. **Family-matched structured strategy** when the DAG carries a
+   :class:`~repro.core.dag.DAGFamily` tag that a registered solver names and
+   the capacity satisfies the solver's minimum.  If the strategy's cost
+   meets the best known lower bound it is returned immediately; otherwise,
+   on DAGs of at most :data:`GREEDY_COMPARISON_NODE_LIMIT` nodes, the
+   greedy fallback is also run and the cheaper of the two schedules wins
+   (ties go to the structured strategy).  The paper's strategies are built
+   for their critical capacity regime, and away from it — e.g. a reduction
+   tree with far more than ``k + 1`` pebbles — plain greedy pebbling can
+   genuinely beat them; beyond the node limit the structured result is
+   returned without the comparison, since asymptotically the structured
+   strategies dominate and the greedy replay would dominate solve time.
+3. **Greedy fallback** (Belady-eviction topological processing) for
+   everything else.
+
+A step that raises :class:`~repro.core.exceptions.SolverError` falls through
+to the next; if every step fails, :func:`solve` raises a ``SolverError``
+whose message lists what was attempted and why each attempt failed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.exceptions import SolverError
+from .bounds import best_lower_bound
+from .problem import PebblingProblem
+from .registry import SolverInfo, get_solver, list_solvers
+from .result import Schedule, SolveResult
+
+__all__ = [
+    "solve",
+    "AUTO_EXACT_NODE_LIMIT",
+    "DEFAULT_AUTO_BUDGET",
+    "GREEDY_COMPARISON_NODE_LIMIT",
+]
+
+#: Above this node count the auto portfolio does not attempt exhaustive search.
+AUTO_EXACT_NODE_LIMIT = 14
+
+#: Default state budget for the exhaustive step of the auto portfolio.
+DEFAULT_AUTO_BUDGET = 500_000
+
+#: Above this node count the portfolio returns a (non-provably-optimal)
+#: structured result without also running the greedy comparison.  Greedy only
+#: beats the paper's strategies in small boundary regimes (tiny ``r``, or a
+#: capacity far above the critical one); asymptotically the structured
+#: strategies win by construction, and on multi-thousand-node DAGs the
+#: Belady-eviction replay would dominate the total solve time.
+GREEDY_COMPARISON_NODE_LIMIT = 2_000
+
+
+def _run(
+    info: SolverInfo,
+    problem: PebblingProblem,
+    bound: Tuple[Optional[int], str],
+    **options: object,
+) -> SolveResult:
+    """Run one solver and package its (validated) schedule into a result.
+
+    ``bound`` is the problem's precomputed ``best_lower_bound`` pair — it
+    depends only on the problem, so callers compute it once per solve rather
+    than once per portfolio attempt.
+    """
+    schedule: Schedule = info.fn(problem, **options)
+    stats = schedule.stats()  # replays through the engine; raises on an illegal schedule
+    return SolveResult(
+        problem=problem,
+        schedule=schedule,
+        stats=stats,
+        solver=info.name,
+        exact_solver=info.exact,
+        lower_bound=bound[0],
+        lower_bound_source=bound[1],
+    )
+
+
+def _family_candidates(problem: PebblingProblem) -> List[SolverInfo]:
+    """Registered structured solvers matching the problem's family tag, game and capacity."""
+    fam = problem.family
+    if fam is None:
+        return []
+    return [
+        info
+        for info in list_solvers(game=problem.game, family=fam.name)
+        if info.families and info.supports(problem)
+    ]
+
+
+def _auto(
+    problem: PebblingProblem,
+    budget: Optional[int],
+    exact_node_limit: int,
+    **options: object,
+) -> SolveResult:
+    attempts: List[Tuple[str, str]] = []
+    bound = best_lower_bound(problem)
+
+    # 1. exhaustive optimum on small instances
+    if problem.n <= exact_node_limit:
+        info = get_solver("exhaustive")
+        try:
+            exact_budget = DEFAULT_AUTO_BUDGET if budget is None else budget
+            return _run(info, problem, bound, budget=exact_budget, **options)
+        except SolverError as exc:
+            attempts.append(("exhaustive", str(exc)))
+    else:
+        attempts.append(
+            ("exhaustive", f"skipped: n = {problem.n} > exact_node_limit = {exact_node_limit}")
+        )
+
+    # 2. family-matched structured strategy
+    structured_result: Optional[SolveResult] = None
+    for info in _family_candidates(problem):
+        try:
+            structured_result = _run(info, problem, bound, **options)
+            break
+        except SolverError as exc:
+            attempts.append((info.name, str(exc)))
+    if structured_result is not None and (
+        structured_result.optimal or problem.n > GREEDY_COMPARISON_NODE_LIMIT
+    ):
+        return structured_result
+
+    # 3. greedy — the fallback, and the sanity comparison for a structured
+    # strategy used away from its critical capacity regime
+    try:
+        greedy_result = _run(get_solver("greedy"), problem, bound, **options)
+    except SolverError as exc:
+        attempts.append(("greedy", str(exc)))
+        greedy_result = None
+
+    if structured_result is not None and greedy_result is not None:
+        return structured_result if structured_result.cost <= greedy_result.cost else greedy_result
+    if structured_result is not None:
+        return structured_result
+    if greedy_result is not None:
+        return greedy_result
+
+    detail = "; ".join(f"{name}: {reason}" for name, reason in attempts)
+    raise SolverError(f"no solver could handle {problem.describe()} — {detail}")
+
+
+def solve(
+    problem: PebblingProblem,
+    solver: str = "auto",
+    budget: Optional[int] = None,
+    exact_node_limit: int = AUTO_EXACT_NODE_LIMIT,
+    **options: object,
+) -> SolveResult:
+    """Solve a pebbling problem and return a validated :class:`SolveResult`.
+
+    Parameters
+    ----------
+    problem:
+        The instance (DAG + capacity + game + variant) to solve.
+    solver:
+        ``"auto"`` (default) runs the portfolio described in the module
+        docstring; any other value must be a registered solver name
+        (see :func:`repro.api.list_solvers`).
+    budget:
+        State budget for exhaustive search (expanded configurations).  For
+        ``solver="auto"`` it caps step 1 and defaults to
+        :data:`DEFAULT_AUTO_BUDGET` (500k, tuned so the portfolio stays
+        responsive); for ``solver="exhaustive"`` it is the cap itself and
+        ``None`` means the solver's own, larger default
+        (:data:`~repro.solvers.exhaustive.DEFAULT_MAX_STATES`).
+    exact_node_limit:
+        Auto portfolio only: largest node count for which exhaustive search
+        is attempted.
+    options:
+        Forwarded to the solver callable (solver-specific knobs).
+
+    Raises
+    ------
+    SolverError
+        If the named solver does not support the problem (wrong game, wrong
+        family, ``r`` below the solver's minimum), or if every portfolio
+        member fails.
+    """
+    if solver == "auto":
+        return _auto(problem, budget, exact_node_limit, **options)
+
+    info = get_solver(solver)
+    if problem.game not in info.games:
+        raise SolverError(
+            f"solver {info.name!r} plays {'/'.join(info.games)}, not {problem.game!r}"
+        )
+    if info.families:
+        fam = problem.family
+        if fam is None or fam.name not in info.families:
+            raise SolverError(
+                f"solver {info.name!r} is restricted to the families "
+                f"{'/'.join(info.families)}; the problem's DAG carries "
+                f"{str(fam) if fam else 'no family tag'}"
+            )
+    required = info.required_r(problem)
+    if required is not None and problem.r < required:
+        raise SolverError(
+            f"solver {info.name!r} needs r >= {required} on {problem.describe()}, "
+            f"got r = {problem.r}"
+        )
+    if budget is not None:
+        options = {**options, "budget": budget}
+    return _run(info, problem, best_lower_bound(problem), **options)

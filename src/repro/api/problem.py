@@ -1,0 +1,96 @@
+"""The :class:`PebblingProblem` value object: one fully specified instance.
+
+A problem bundles everything a solver needs to produce a schedule — the DAG,
+the fast-memory capacity ``r``, which game is being played (``"rbp"`` or
+``"prbp"``) and which rule variant applies.  Bundling the four removes the
+main source of friction in the pre-facade API, where every solver invented
+its own positional signature and callers had to remember which one takes
+``(dag, r)`` and which takes ``(inst, m, r)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..core.dag import ComputationalDAG, DAGFamily
+from ..core.variants import ONE_SHOT, GameVariant
+
+__all__ = ["PebblingProblem", "GAMES"]
+
+#: The two pebble games the library implements.
+GAMES = ("rbp", "prbp")
+
+
+@dataclass(frozen=True)
+class PebblingProblem:
+    """An immutable pebbling instance: *what* to solve, not *how*.
+
+    Parameters
+    ----------
+    dag:
+        The computational DAG to pebble.
+    r:
+        Fast-memory capacity (number of red pebbles), ``>= 1``.
+    game:
+        ``"rbp"`` for the classic Hong–Kung game, ``"prbp"`` for the
+        partial-computing extension (the default — it is the paper's subject).
+    variant:
+        Rule toggles (one-shot / re-computation / sliding / no-deletion /
+        compute costs); defaults to the one-shot game the paper analyses.
+
+    Examples
+    --------
+    >>> from repro.api import PebblingProblem, solve
+    >>> from repro.dags import figure1_gadget
+    >>> solve(PebblingProblem(figure1_gadget(), r=4, game="prbp")).cost
+    2
+    """
+
+    dag: ComputationalDAG
+    r: int
+    game: str = "prbp"
+    variant: GameVariant = field(default=ONE_SHOT)
+
+    def __post_init__(self) -> None:
+        if self.game not in GAMES:
+            raise ValueError(f"game must be one of {GAMES}, got {self.game!r}")
+        if self.r < 1:
+            raise ValueError(f"capacity r must be >= 1, got {self.r}")
+        if not isinstance(self.dag, ComputationalDAG):
+            raise TypeError(f"dag must be a ComputationalDAG, got {type(self.dag).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # convenience views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Number of nodes of the underlying DAG."""
+        return self.dag.n
+
+    @property
+    def family(self) -> Optional[DAGFamily]:
+        """The generator tag of the DAG, if it was built by :mod:`repro.dags`."""
+        return self.dag.family
+
+    @property
+    def trivial_cost(self) -> int:
+        """The unavoidable I/O floor: sources + sinks."""
+        return self.dag.trivial_cost()
+
+    def with_game(self, game: str) -> "PebblingProblem":
+        """The same instance posed in the other game (used by comparisons)."""
+        return replace(self, game=game)
+
+    def with_r(self, r: int) -> "PebblingProblem":
+        """The same instance at a different capacity (used by sweeps)."""
+        return replace(self, r=r)
+
+    def describe(self) -> str:
+        """One-line summary used in error messages and reports."""
+        fam = f", family={self.family}" if self.family is not None else ""
+        return (
+            f"{self.game.upper()} on {self.dag.name!r} "
+            f"(n={self.dag.n}, m={self.dag.m}, r={self.r}{fam})"
+        )

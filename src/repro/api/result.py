@@ -1,0 +1,112 @@
+"""The :class:`SolveResult` container returned by :func:`repro.api.solve`.
+
+A result always carries a *validated* schedule (the cost is the cost of an
+actually legal pebbling, replayed through the engine), the replay statistics,
+the best lower bound the library knows for the instance, and the optimality
+flags derived from the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..core.exceptions import PebblingError
+from ..core.strategy import PRBPSchedule, RBPSchedule, ScheduleStats
+from .problem import PebblingProblem
+
+__all__ = ["SolveResult", "Schedule"]
+
+#: Either game's schedule type.
+Schedule = Union[RBPSchedule, PRBPSchedule]
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """A solved pebbling instance.
+
+    Attributes
+    ----------
+    problem:
+        The instance that was solved.
+    schedule:
+        The validated move list (an :class:`RBPSchedule` or
+        :class:`PRBPSchedule` matching ``problem.game``).
+    stats:
+        Replay statistics: per-kind move counts, I/O cost, peak red pebbles.
+    solver:
+        Registry name of the solver that produced the schedule (for
+        ``solver="auto"`` this is the portfolio member that won).
+    exact_solver:
+        True iff the schedule came from a solver registered with the
+        ``exact`` capability (exhaustive search), so its cost *is* the
+        optimum by construction.
+    lower_bound:
+        The best lower bound :mod:`repro.bounds` offers for this instance
+        (at least the trivial cost), or ``None`` when none applies.
+    lower_bound_source:
+        Which bound supplied ``lower_bound`` (``"trivial"``, ``"thm6.9"``,
+        ...); empty when ``lower_bound`` is None.
+    """
+
+    problem: PebblingProblem
+    schedule: Schedule
+    stats: ScheduleStats
+    solver: str
+    exact_solver: bool
+    lower_bound: Optional[int] = None
+    lower_bound_source: str = ""
+
+    @property
+    def cost(self) -> int:
+        """I/O cost of the validated schedule."""
+        return self.stats.io_cost
+
+    @property
+    def optimal(self) -> bool:
+        """True iff the cost is provably the optimum.
+
+        Either an exact solver produced the schedule, or the achieved cost
+        meets the best known lower bound (a matching upper/lower pair is a
+        proof of optimality regardless of which solver found the schedule).
+
+        Raises
+        ------
+        PebblingError
+            If the validated cost is strictly *below* the claimed lower
+            bound — a mathematically impossible state that can only mean a
+            broken bound formula or a bound computed for a different
+            instance; it is surfaced rather than converted into a false
+            optimality proof.
+        """
+        if self.lower_bound is not None and self.cost < self.lower_bound:
+            raise PebblingError(
+                f"inconsistent result for {self.problem.describe()}: the validated schedule "
+                f"costs {self.cost}, strictly below the claimed lower bound "
+                f"{self.lower_bound} ({self.lower_bound_source}) — the bound is wrong for "
+                "this instance"
+            )
+        if self.exact_solver:
+            return True
+        return self.lower_bound is not None and self.cost == self.lower_bound
+
+    @property
+    def upper_bound(self) -> bool:
+        """True iff the cost is only known to be achievable, not optimal."""
+        return not self.optimal
+
+    @property
+    def gap(self) -> Optional[int]:
+        """``cost - lower_bound`` (None when no lower bound is known)."""
+        if self.lower_bound is None:
+            return None
+        return self.cost - self.lower_bound
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        quality = "optimal" if self.optimal else "upper bound"
+        lb = f", lower bound {self.lower_bound} ({self.lower_bound_source})" if self.lower_bound is not None else ""
+        return (
+            f"{self.problem.describe()}: cost {self.cost} ({quality}, solver={self.solver}{lb}), "
+            f"{self.stats.moves} moves, peak red {self.stats.peak_red}"
+        )

@@ -5,7 +5,7 @@ algorithms that *find* pebblings live in :mod:`repro.solvers`, and the
 lower-bound machinery lives in :mod:`repro.bounds`.
 """
 
-from .dag import ComputationalDAG, Edge
+from .dag import ComputationalDAG, DAGFamily, Edge
 from .exceptions import (
     CapacityExceededError,
     DAGError,
@@ -25,6 +25,7 @@ from .variants import NO_DELETE, ONE_SHOT, RECOMPUTE, SLIDING, GameVariant
 
 __all__ = [
     "ComputationalDAG",
+    "DAGFamily",
     "Edge",
     "PebblingError",
     "DAGError",

@@ -23,14 +23,54 @@ networkx pipeline.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from .exceptions import DAGError
 
-__all__ = ["ComputationalDAG", "Edge"]
+__all__ = ["ComputationalDAG", "DAGFamily", "Edge"]
 
 #: An edge is a ``(tail, head)`` pair of node ids.
 Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class DAGFamily:
+    """Provenance tag identifying which generator produced a DAG, and with
+    which parameters.
+
+    Every generator in :mod:`repro.dags` attaches one of these to the DAGs it
+    builds, so downstream consumers — most importantly the auto-dispatch
+    portfolio of :func:`repro.api.solve` — can select the structured strategy
+    that matches the family without the caller having to thread layout
+    objects through every call site.
+
+    ``params`` is stored as a sorted tuple of ``(key, value)`` pairs so the
+    tag stays hashable; use :meth:`param` or :meth:`as_dict` to read values.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def tag(cls, name: str, **params: Any) -> "DAGFamily":
+        """Build a tag from keyword parameters: ``DAGFamily.tag("fft", m=16)``."""
+        return cls(name, tuple(sorted(params.items())))
+
+    def param(self, key: str, default: Any = None) -> Any:
+        """Value of one generator parameter (``default`` if absent)."""
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The generator parameters as a plain dict."""
+        return dict(self.params)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        return f"{self.name}({inner})"
 
 
 class ComputationalDAG:
@@ -48,6 +88,10 @@ class ComputationalDAG:
         entries default to ``"v<i>"``.
     name:
         Optional name of the DAG family instance (used in reports).
+    family:
+        Optional :class:`DAGFamily` tag recording which generator built this
+        DAG and with which parameters; consumed by the solver auto-dispatch
+        in :mod:`repro.api`.
 
     Raises
     ------
@@ -74,6 +118,7 @@ class ComputationalDAG:
         "_topo",
         "_labels",
         "name",
+        "family",
     )
 
     def __init__(
@@ -82,6 +127,7 @@ class ComputationalDAG:
         edges: Iterable[Edge],
         labels: Optional[Mapping[int, str]] = None,
         name: str = "dag",
+        family: Optional[DAGFamily] = None,
     ) -> None:
         if n < 0:
             raise DAGError(f"number of nodes must be non-negative, got {n}")
@@ -113,6 +159,7 @@ class ComputationalDAG:
             labels = {}
         self._labels: Tuple[str, ...] = tuple(labels.get(v, f"v{v}") for v in range(n))
         self.name = name
+        self.family = family
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -124,12 +171,13 @@ class ComputationalDAG:
         edges: Sequence[Edge],
         labels: Optional[Mapping[int, str]] = None,
         name: str = "dag",
+        family: Optional[DAGFamily] = None,
     ) -> "ComputationalDAG":
         """Build a DAG from an edge list, inferring ``n`` as ``max id + 1``."""
         n = 0
         for u, v in edges:
             n = max(n, u + 1, v + 1)
-        return cls(n, edges, labels=labels, name=name)
+        return cls(n, edges, labels=labels, name=name, family=family)
 
     @classmethod
     def from_networkx(cls, graph, name: str = "dag") -> "ComputationalDAG":
@@ -339,7 +387,9 @@ class ComputationalDAG:
     def relabel(self, labels: Mapping[int, str], name: Optional[str] = None) -> "ComputationalDAG":
         """Return a copy of this DAG with (some) node labels replaced."""
         merged = {v: labels.get(v, self._labels[v]) for v in range(self._n)}
-        return ComputationalDAG(self._n, self._edges, labels=merged, name=name or self.name)
+        return ComputationalDAG(
+            self._n, self._edges, labels=merged, name=name or self.name, family=self.family
+        )
 
     def induced_subgraph(self, keep: Iterable[int], name: Optional[str] = None) -> "ComputationalDAG":
         """Return the sub-DAG induced by ``keep`` (nodes renumbered densely).

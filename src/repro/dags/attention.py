@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from ..core.dag import ComputationalDAG, Edge
+from ..core.dag import ComputationalDAG, DAGFamily, Edge
 
 __all__ = ["AttentionInstance", "attention_instance", "attention_dag"]
 
@@ -137,6 +137,7 @@ def attention_instance(m: int, d: int, include_softmax: bool = False) -> Attenti
         edges,
         labels=labels,
         name=f"attention-m{m}-d{d}{'-softmax' if include_softmax else ''}",
+        family=DAGFamily.tag("attention", m=m, d=d, include_softmax=include_softmax),
     )
     return AttentionInstance(dag=dag, m=m, d=d, include_softmax=include_softmax)
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from ..core.dag import ComputationalDAG, Edge
+from ..core.dag import ComputationalDAG, DAGFamily, Edge
 
 __all__ = ["FanInGroupsInstance", "fanin_groups_instance", "fanin_groups_dag"]
 
@@ -68,7 +68,11 @@ def fanin_groups_instance(num_groups: int = 7, group_size: int = 10) -> FanInGro
             edges.append((sources[i], w))
             edges.append((w, sink))
     dag = ComputationalDAG(
-        next_id, edges, labels=labels, name=f"fanin-{num_groups}x{group_size}"
+        next_id,
+        edges,
+        labels=labels,
+        name=f"fanin-{num_groups}x{group_size}",
+        family=DAGFamily.tag("fanin_groups", num_groups=num_groups, group_size=group_size),
     )
     return FanInGroupsInstance(
         dag=dag,

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from ..core.dag import ComputationalDAG, Edge
+from ..core.dag import ComputationalDAG, DAGFamily, Edge
 
 __all__ = ["FFTInstance", "fft_instance", "fft_dag"]
 
@@ -70,7 +70,13 @@ def fft_instance(m: int) -> FFTInstance:
             v = inst.node(t, j)
             edges.append((inst.node(t - 1, j), v))
             edges.append((inst.node(t - 1, j ^ stride), v))
-    dag = ComputationalDAG(m * (levels + 1), edges, labels=labels, name=f"fft-{m}")
+    dag = ComputationalDAG(
+        m * (levels + 1),
+        edges,
+        labels=labels,
+        name=f"fft-{m}",
+        family=DAGFamily.tag("fft", m=m),
+    )
     return FFTInstance(dag=dag, m=m, levels=levels)
 
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from ..core.dag import ComputationalDAG, Edge
+from ..core.dag import ComputationalDAG, DAGFamily, Edge
 
 __all__ = [
     "Figure1Instance",
@@ -153,7 +153,18 @@ def figure1_instance(
         name += "+z"
     if with_w0:
         name += "+w0"
-    dag = ComputationalDAG(next_id, edges, labels=labels, name=name)
+    dag = ComputationalDAG(
+        next_id,
+        edges,
+        labels=labels,
+        name=name,
+        family=DAGFamily.tag(
+            "figure1",
+            include_endpoints=include_endpoints,
+            with_z_layer=with_z_layer,
+            with_w0=with_w0,
+        ),
+    )
     return Figure1Instance(
         dag=dag,
         u0=u0,
@@ -263,7 +274,13 @@ def chained_gadget_instance(copies: int) -> ChainedGadgetInstance:
         cur_u1, cur_u2 = v1, v2
     v0 = new("v0")
     edges += [(cur_u1, v0), (cur_u2, v0)]
-    dag = ComputationalDAG(next_id, edges, labels=labels, name=f"prop47-chain-{copies}")
+    dag = ComputationalDAG(
+        next_id,
+        edges,
+        labels=labels,
+        name=f"prop47-chain-{copies}",
+        family=DAGFamily.tag("chained_gadget", copies=copies),
+    )
     return ChainedGadgetInstance(
         dag=dag, copies=copies, u0=u0, v0=v0, gadget_nodes=tuple(per_copy)
     )
@@ -328,7 +345,13 @@ def zipper_instance(d: int, length: int) -> ZipperInstance:
         group = group_a if i % 2 == 0 else group_b
         for u in group:
             edges.append((u, c))
-    dag = ComputationalDAG(2 * d + length, edges, labels=labels, name=f"zipper-d{d}-l{length}")
+    dag = ComputationalDAG(
+        2 * d + length,
+        edges,
+        labels=labels,
+        name=f"zipper-d{d}-l{length}",
+        family=DAGFamily.tag("zipper", d=d, length=length),
+    )
     return ZipperInstance(dag=dag, d=d, length=length, group_a=group_a, group_b=group_b, chain=chain)
 
 
@@ -380,7 +403,13 @@ def pebble_collection_instance(d: int, length: int) -> PebbleCollectionInstance:
         if i > 0:
             edges.append((chain[i - 1], c))
         edges.append((sources[i % d], c))
-    dag = ComputationalDAG(d + length, edges, labels=labels, name=f"collection-d{d}-l{length}")
+    dag = ComputationalDAG(
+        d + length,
+        edges,
+        labels=labels,
+        name=f"collection-d{d}-l{length}",
+        family=DAGFamily.tag("pebble_collection", d=d, length=length),
+    )
     return PebbleCollectionInstance(dag=dag, d=d, length=length, sources=sources, chain=chain)
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from ..core.dag import ComputationalDAG, Edge
+from ..core.dag import ComputationalDAG, DAGFamily, Edge
 
 __all__ = [
     "MatVecInstance",
@@ -89,7 +89,13 @@ def matvec_instance(m: int) -> MatVecInstance:
         labels[yj] = f"y[{j}]"
         for i in range(m):
             edges.append((inst.product(j, i), yj))
-    dag = ComputationalDAG(inst.n_nodes, edges, labels=labels, name=f"matvec-m{m}")
+    dag = ComputationalDAG(
+        inst.n_nodes,
+        edges,
+        labels=labels,
+        name=f"matvec-m{m}",
+        family=DAGFamily.tag("matvec", m=m),
+    )
     return MatVecInstance(dag=dag, m=m)
 
 
@@ -173,7 +179,13 @@ def matmul_instance(m1: int, m2: int, m3: int) -> MatMulInstance:
             labels[cij] = f"C[{i},{j}]"
             for k in range(m2):
                 edges.append((inst.product(i, k, j), cij))
-    dag = ComputationalDAG(inst.n_nodes, edges, labels=labels, name=f"matmul-{m1}x{m2}x{m3}")
+    dag = ComputationalDAG(
+        inst.n_nodes,
+        edges,
+        labels=labels,
+        name=f"matmul-{m1}x{m2}x{m3}",
+        family=DAGFamily.tag("matmul", m1=m1, m2=m2, m3=m3),
+    )
     return MatMulInstance(dag=dag, m1=m1, m2=m2, m3=m3)
 
 

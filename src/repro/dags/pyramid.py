@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from ..core.dag import ComputationalDAG, Edge
+from ..core.dag import ComputationalDAG, DAGFamily, Edge
 
 __all__ = ["PyramidInstance", "pyramid_instance", "pyramid_dag"]
 
@@ -61,7 +61,13 @@ def pyramid_instance(height: int) -> PyramidInstance:
         for j, v in enumerate(levels[t]):
             edges.append((levels[t - 1][j], v))
             edges.append((levels[t - 1][j + 1], v))
-    dag = ComputationalDAG(next_id, edges, labels=labels, name=f"pyramid-h{height}")
+    dag = ComputationalDAG(
+        next_id,
+        edges,
+        labels=labels,
+        name=f"pyramid-h{height}",
+        family=DAGFamily.tag("pyramid", height=height),
+    )
     return PyramidInstance(dag=dag, height=height, levels=tuple(levels))
 
 

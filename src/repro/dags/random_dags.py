@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..core.dag import ComputationalDAG, Edge
+from ..core.dag import ComputationalDAG, DAGFamily, Edge
 
 __all__ = ["random_layered_dag", "random_dag"]
 
@@ -115,7 +115,16 @@ def random_layered_dag(
                 add(u, candidates[0])
     edges: List[Edge] = sorted(edge_set)
     dag = ComputationalDAG(
-        next_id, edges, name=f"random-layered-{'x'.join(map(str, layer_sizes))}-s{seed}"
+        next_id,
+        edges,
+        name=f"random-layered-{'x'.join(map(str, layer_sizes))}-s{seed}",
+        family=DAGFamily.tag(
+            "random_layered",
+            layer_sizes=tuple(layer_sizes),
+            edge_probability=edge_probability,
+            max_in_degree=max_in_degree,
+            seed=seed,
+        ),
     )
     dag.validate_no_isolated()
     return dag
@@ -148,6 +157,11 @@ def random_dag(n: int, edge_probability: float = 0.2, seed: int = 0) -> Computat
             if rng.random() < edge_probability:
                 edges.append((u2, v))
                 edge_set.add((u2, v))
-    dag = ComputationalDAG(n, edges, name=f"random-n{n}-s{seed}")
+    dag = ComputationalDAG(
+        n,
+        edges,
+        name=f"random-n{n}-s{seed}",
+        family=DAGFamily.tag("random", n=n, edge_probability=edge_probability, seed=seed),
+    )
     dag.validate_no_isolated()
     return dag

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from ..core.dag import ComputationalDAG, Edge
+from ..core.dag import ComputationalDAG, DAGFamily, Edge
 
 __all__ = [
     "TreeInstance",
@@ -82,7 +82,13 @@ def kary_tree_instance(k: int, depth: int) -> TreeInstance:
         for idx, parent in enumerate(levels[level]):
             for child in levels[level + 1][k * idx : k * idx + k]:
                 edges.append((child, parent))
-    dag = ComputationalDAG(next_id, edges, labels=labels, name=f"{k}ary-tree-d{depth}")
+    dag = ComputationalDAG(
+        next_id,
+        edges,
+        labels=labels,
+        name=f"{k}ary-tree-d{depth}",
+        family=DAGFamily.tag("kary_tree", k=k, depth=depth),
+    )
     return TreeInstance(dag=dag, k=k, depth=depth, levels=tuple(levels))
 
 

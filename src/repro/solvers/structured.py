@@ -52,6 +52,16 @@ from ..dags.linalg import MatMulInstance, MatVecInstance, matmul_instance, matve
 from ..dags.trees import TreeInstance, kary_tree_instance
 
 __all__ = [
+    "FIGURE1_MIN_R",
+    "CHAINED_GADGET_MIN_R",
+    "FANIN_MIN_R",
+    "FFT_MIN_R",
+    "MATMUL_MIN_R",
+    "matvec_min_r",
+    "zipper_min_r",
+    "tree_min_r",
+    "collection_min_r",
+    "attention_min_r",
     "figure1_prbp_schedule",
     "figure1_rbp_schedule",
     "chained_gadget_prbp_schedule",
@@ -86,13 +96,62 @@ def _dele(v: int) -> PRBPMove:
     return PRBPMove(MoveKind.DELETE, node=v)
 
 
+def _resolve_capacity(r: Optional[int], minimum: int, strategy: str) -> int:
+    """Uniform capacity policy shared by every structured strategy.
+
+    ``r=None`` resolves to the family's minimum feasible capacity; an explicit
+    ``r`` below that minimum raises :class:`SolverError` so a caller can never
+    obtain a schedule whose cost silently belongs to a different cache size.
+    """
+    if r is None:
+        return minimum
+    if r < minimum:
+        raise SolverError(f"the {strategy} needs r >= {minimum}, got r = {r}")
+    return r
+
+
+# Minimum feasible capacities of the structured strategies — the single source
+# of truth shared with the solver adapters in :mod:`repro.api.adapters`.
+FIGURE1_MIN_R = 4
+CHAINED_GADGET_MIN_R = 4
+FANIN_MIN_R = 3
+FFT_MIN_R = 4
+MATMUL_MIN_R = 4
+
+
+def matvec_min_r(m: int) -> int:
+    """Minimum capacity of the Proposition 4.3 strategy: ``m + 3``."""
+    return m + 3
+
+
+def zipper_min_r(d: int) -> int:
+    """Minimum capacity of both zipper strategies: ``d + 2``."""
+    return d + 2
+
+
+def tree_min_r(k: int) -> int:
+    """Minimum capacity of both tree strategies: ``k + 1``."""
+    return k + 1
+
+
+def collection_min_r(d: int) -> int:
+    """Minimum capacity of both collection strategies: ``d + 2``."""
+    return d + 2
+
+
+def attention_min_r(d: int) -> int:
+    """Minimum capacity of the flash-style strategy: ``2d + 3`` (one-row block)."""
+    return 2 * d + 3
+
+
 # --------------------------------------------------------------------------- #
 # Figure 1 (Proposition 4.2 / Appendix A.1)
 # --------------------------------------------------------------------------- #
 
 
-def figure1_prbp_schedule(inst: Optional[Figure1Instance] = None, r: int = 4) -> PRBPSchedule:
+def figure1_prbp_schedule(inst: Optional[Figure1Instance] = None, r: Optional[int] = None) -> PRBPSchedule:
     """The Appendix A.1 PRBP strategy for the Figure 1 DAG: 2 I/O steps at ``r = 4``."""
+    r = _resolve_capacity(r, FIGURE1_MIN_R, "Appendix A.1 PRBP strategy")
     if inst is None:
         inst = figure1_instance(include_endpoints=True)
     if not inst.include_endpoints or inst.has_z_layer or inst.has_w0:
@@ -128,8 +187,9 @@ def figure1_prbp_schedule(inst: Optional[Figure1Instance] = None, r: int = 4) ->
     return schedule
 
 
-def figure1_rbp_schedule(inst: Optional[Figure1Instance] = None, r: int = 4) -> RBPSchedule:
+def figure1_rbp_schedule(inst: Optional[Figure1Instance] = None, r: Optional[int] = None) -> RBPSchedule:
     """The Appendix A.1 RBP strategy for the Figure 1 DAG: 3 I/O steps at ``r = 4``."""
+    r = _resolve_capacity(r, FIGURE1_MIN_R, "Appendix A.1 RBP strategy")
     if inst is None:
         inst = figure1_instance(include_endpoints=True)
     if not inst.include_endpoints or inst.has_z_layer or inst.has_w0:
@@ -174,13 +234,12 @@ def figure1_rbp_schedule(inst: Optional[Figure1Instance] = None, r: int = 4) -> 
 
 
 def chained_gadget_prbp_schedule(
-    inst: Optional[ChainedGadgetInstance] = None, copies: int = 4, r: int = 4
+    inst: Optional[ChainedGadgetInstance] = None, copies: int = 4, r: Optional[int] = None
 ) -> PRBPSchedule:
     """The Proposition 4.7 PRBP strategy: total cost 2 regardless of the number of copies."""
     if inst is None:
         inst = chained_gadget_instance(copies)
-    if r < 4:
-        raise SolverError("the Proposition 4.7 strategy needs r >= 4")
+    r = _resolve_capacity(r, CHAINED_GADGET_MIN_R, "Proposition 4.7 strategy")
     moves: List[PRBPMove] = []
     first = inst.gadget_nodes[0]
     moves += [
@@ -241,10 +300,7 @@ def matvec_prbp_schedule(inst: Optional[MatVecInstance] = None, m: int = 4, r: O
     if inst is None:
         inst = matvec_instance(m)
     m = inst.m
-    if r is None:
-        r = m + 3
-    if r < m + 3:
-        raise SolverError(f"the Proposition 4.3 strategy needs r >= m + 3 = {m + 3}, got {r}")
+    r = _resolve_capacity(r, matvec_min_r(m), "Proposition 4.3 strategy")
     moves: List[PRBPMove] = []
     for i in range(m):
         xi = inst.x(i)
@@ -286,10 +342,7 @@ def zipper_prbp_schedule(inst: Optional[ZipperInstance] = None, d: int = 3, leng
     if inst is None:
         inst = zipper_instance(d, length)
     d, length = inst.d, inst.length
-    if r is None:
-        r = d + 2
-    if r < d + 2:
-        raise SolverError(f"the zipper strategy needs r >= d + 2 = {d + 2}, got {r}")
+    r = _resolve_capacity(r, zipper_min_r(d), "zipper PRBP strategy")
     moves: List[PRBPMove] = []
     # phase 1: group A resident, pre-aggregate every even chain node
     for a in inst.group_a:
@@ -340,10 +393,7 @@ def zipper_rbp_schedule(inst: Optional[ZipperInstance] = None, d: int = 3, lengt
     if inst is None:
         inst = zipper_instance(d, length)
     d, length = inst.d, inst.length
-    if r is None:
-        r = d + 2
-    if r < d + 2:
-        raise SolverError(f"the zipper RBP strategy needs r >= d + 2 = {d + 2}, got {r}")
+    r = _resolve_capacity(r, zipper_min_r(d), "zipper RBP strategy")
     L, C, D, S = (
         lambda v: RBPMove(MoveKind.LOAD, v),
         lambda v: RBPMove(MoveKind.COMPUTE, v),
@@ -389,10 +439,7 @@ def tree_rbp_schedule(inst: Optional[TreeInstance] = None, k: int = 2, depth: in
     if inst is None:
         inst = kary_tree_instance(k, depth)
     k, depth = inst.k, inst.depth
-    if r is None:
-        r = k + 1
-    if r < k + 1:
-        raise SolverError(f"the tree RBP strategy needs r >= k + 1 = {k + 1}, got {r}")
+    r = _resolve_capacity(r, tree_min_r(k), "tree RBP strategy")
     moves: List[RBPMove] = []
     L, C, D, S = (
         lambda v: RBPMove(MoveKind.LOAD, v),
@@ -448,10 +495,7 @@ def tree_prbp_schedule(inst: Optional[TreeInstance] = None, k: int = 2, depth: i
     if inst is None:
         inst = kary_tree_instance(k, depth)
     k, depth = inst.k, inst.depth
-    if r is None:
-        r = k + 1
-    if r < k + 1:
-        raise SolverError(f"the tree PRBP strategy needs r >= k + 1 = {k + 1}, got {r}")
+    r = _resolve_capacity(r, tree_min_r(k), "tree PRBP strategy")
     moves: List[PRBPMove] = []
 
     def pebble_free(level: int, index: int) -> None:
@@ -513,10 +557,7 @@ def collection_full_rbp_schedule(
     if inst is None:
         inst = pebble_collection_instance(d, length)
     d, length = inst.d, inst.length
-    if r is None:
-        r = d + 2
-    if r < d + 2:
-        raise SolverError(f"the full-pebble strategy needs r >= d + 2 = {d + 2}, got {r}")
+    r = _resolve_capacity(r, collection_min_r(d), "full-pebble RBP strategy")
     L, C, D, S = (
         lambda v: RBPMove(MoveKind.LOAD, v),
         lambda v: RBPMove(MoveKind.COMPUTE, v),
@@ -546,10 +587,7 @@ def collection_full_prbp_schedule(
     if inst is None:
         inst = pebble_collection_instance(d, length)
     d, length = inst.d, inst.length
-    if r is None:
-        r = d + 2
-    if r < d + 2:
-        raise SolverError(f"the full-pebble strategy needs r >= d + 2 = {d + 2}, got {r}")
+    r = _resolve_capacity(r, collection_min_r(d), "full-pebble PRBP strategy")
     moves: List[PRBPMove] = [_load(u) for u in inst.sources]
     prev = None
     for i in range(length):
@@ -576,13 +614,12 @@ def collection_full_prbp_schedule(
 
 
 def fanin_groups_prbp_schedule(
-    inst: Optional[FanInGroupsInstance] = None, num_groups: int = 7, group_size: int = 10, r: int = 3
+    inst: Optional[FanInGroupsInstance] = None, num_groups: int = 7, group_size: int = 10, r: Optional[int] = None
 ) -> PRBPSchedule:
     """The Lemma 5.4 PRBP strategy: trivial cost ``num_groups + 1`` with only 3 red pebbles."""
     if inst is None:
         inst = fanin_groups_instance(num_groups, group_size)
-    if r < 3:
-        raise SolverError(f"the Lemma 5.4 strategy needs r >= 3, got {r}")
+    r = _resolve_capacity(r, FANIN_MIN_R, "Lemma 5.4 strategy")
     moves: List[PRBPMove] = []
     sink = inst.sink
     for gi, u in enumerate(inst.sources):
@@ -606,7 +643,7 @@ def fanin_groups_prbp_schedule(
 # --------------------------------------------------------------------------- #
 
 
-def fft_blocked_rbp_schedule(inst: Optional[FFTInstance] = None, m: int = 16, r: int = 8) -> RBPSchedule:
+def fft_blocked_rbp_schedule(inst: Optional[FFTInstance] = None, m: int = 16, r: Optional[int] = None) -> RBPSchedule:
     """Blocked RBP pebbling of the butterfly DAG: ``O(m·log m / log r)`` I/O.
 
     The DAG is cut into super-levels of ``s = floor(log2 r) - 1`` butterfly
@@ -618,8 +655,7 @@ def fft_blocked_rbp_schedule(inst: Optional[FFTInstance] = None, m: int = 16, r:
     if inst is None:
         inst = fft_instance(m)
     m = inst.m
-    if r < 4:
-        raise SolverError(f"the blocked FFT strategy needs r >= 4, got {r}")
+    r = _resolve_capacity(r, FFT_MIN_R, "blocked FFT strategy")
     s = max(1, r.bit_length() - 2)  # largest s with 2^(s+1) <= r
     while (1 << (s + 1)) > r:
         s -= 1
@@ -658,7 +694,7 @@ def fft_blocked_rbp_schedule(inst: Optional[FFTInstance] = None, m: int = 16, r:
     return schedule
 
 
-def fft_blocked_prbp_schedule(inst: Optional[FFTInstance] = None, m: int = 16, r: int = 8) -> PRBPSchedule:
+def fft_blocked_prbp_schedule(inst: Optional[FFTInstance] = None, m: int = 16, r: Optional[int] = None) -> PRBPSchedule:
     """The blocked FFT strategy converted to PRBP (Proposition 4.1): identical I/O cost."""
     from ..core.conversion import convert_rbp_to_prbp
 
@@ -678,7 +714,7 @@ def matmul_tiled_prbp_schedule(
     m1: int = 4,
     m2: int = 4,
     m3: int = 4,
-    r: int = 16,
+    r: Optional[int] = None,
 ) -> PRBPSchedule:
     """Tiled (outer-product) PRBP pebbling of matmul: ``O(m1·m2·m3/√r)`` I/O.
 
@@ -691,11 +727,10 @@ def matmul_tiled_prbp_schedule(
     if inst is None:
         inst = matmul_instance(m1, m2, m3)
     m1, m2, m3 = inst.m1, inst.m2, inst.m3
+    r = _resolve_capacity(r, MATMUL_MIN_R, "tiled matmul strategy")
     b = int(math.isqrt(r)) - 1
     while b > 1 and b * b + 2 * b + 1 > r:
         b -= 1
-    if b < 1 or b * b + 2 * b + 1 > r:
-        raise SolverError(f"the tiled matmul strategy needs r >= 4, got {r}")
     moves: List[PRBPMove] = []
     for i0 in range(0, m1, b):
         bi = min(b, m1 - i0)
@@ -757,12 +792,9 @@ def attention_flash_prbp_schedule(
     if inst.include_softmax:
         raise SolverError("the flash-style strategy targets the truncated attention DAG")
     m, d = inst.m, inst.d
-    if r is None:
-        r = max(d * d, d + 4) + d + 4
+    r = _resolve_capacity(r, attention_min_r(d), "flash-style attention strategy")
     bi = max(1, (r - d - 3) // d)
     bi = min(bi, m)
-    if bi * d + d + 3 > r:
-        raise SolverError(f"the flash-style strategy needs r >= 2d + 4, got r = {r} for d = {d}")
     moves: List[PRBPMove] = []
     for i0 in range(0, m, bi):
         rows = range(i0, min(i0 + bi, m))
