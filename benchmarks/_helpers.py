@@ -1,0 +1,32 @@
+"""Shared wrapper factory for the per-proposition benchmark files.
+
+Every ``bench_*.py`` file covers one scenario group of the
+:mod:`repro.bench` registry; :func:`make_group_bench` builds the one
+parametrized benchmark they all share, so the common record invariants are
+defined exactly once.  (This module deliberately does not match the
+``bench_*.py`` collection pattern — pytest never collects it directly.)
+"""
+
+import pytest
+
+from repro.bench import run_scenario, scenario_names
+
+
+def make_group_bench(group, extra=None):
+    """A parametrized benchmark running every quick-tier scenario of ``group``.
+
+    Asserts the invariants every record must satisfy (no error, declared
+    expectations met, a non-negative lower-bound gap); ``extra`` is an
+    optional per-group callable receiving the record for additional claims.
+    """
+
+    @pytest.mark.parametrize("name", scenario_names(group=group))
+    def bench_scenario(benchmark, name):
+        record = benchmark(run_scenario, name, tier="quick")
+        assert record.error is None
+        assert record.expected_ok is not False
+        assert record.gap is None or record.gap >= 0
+        if extra is not None:
+            extra(record)
+
+    return bench_scenario

@@ -1,101 +1,29 @@
 """E13 — Section 8.1 / Appendix B: behaviour of the model variants.
 
-Regenerates the appendix's qualitative claims with the exhaustive solvers:
-
-* re-computation closes the Figure 1 gap in RBP, and the ``z``-layer gadget
-  restores it;
-* sliding pebbles close the gap too, and the ``w0`` gadget restores it;
-* sliding also closes the gap on *binary* trees but not on ternary trees;
-* the no-deletion variant obeys ``OPT_PRBP >= n - r``.
+Thin pytest-benchmark wrapper over the ``repro.bench`` scenario registry
+(group ``appB``): re-computation and sliding both close the Figure 1 gap in
+RBP (exhaustive OPT drops from 3 to the PRBP value 2).
 """
 
-import pytest
+from _helpers import make_group_bench
+from repro.bench import run_scenario
 
-from repro.core.variants import NO_DELETE, RECOMPUTE, SLIDING
-from repro.analysis.reporting import format_table
-from repro.dags import binary_tree_instance, figure1_instance, kary_tree_instance
-from repro.solvers.exhaustive import optimal_prbp_cost, optimal_rbp_cost
+GROUP = "appB"
 
 
-def bench_recompute_variant_on_figure1(benchmark):
-    """Appendix B.1: re-computation gives OPT_RBP = 2, the z-layer restores 3."""
-
-    def run():
-        plain = optimal_rbp_cost(figure1_instance().dag, 4, variant=RECOMPUTE)
-        guarded = optimal_rbp_cost(figure1_instance(with_z_layer=True).dag, 4, variant=RECOMPUTE)
-        return plain, guarded
-
-    plain, guarded = benchmark(run)
-    assert plain == 2 and guarded == 3
+bench_scenario = make_group_bench(GROUP)
 
 
-def bench_sliding_variant_on_figure1(benchmark):
-    """Appendix B.2: sliding gives OPT_RBP = 2, the w0 node restores 3."""
+def bench_appB_variants_close_the_gap(benchmark):
+    """Both relaxations reach cost 2 — the one-shot RBP optimum is 3."""
 
     def run():
-        plain = optimal_rbp_cost(figure1_instance().dag, 4, variant=SLIDING)
-        guarded = optimal_rbp_cost(figure1_instance(with_w0=True).dag, 4, variant=SLIDING)
-        return plain, guarded
-
-    plain, guarded = benchmark(run)
-    assert plain == 2 and guarded == 3
-
-
-def bench_sliding_on_trees(benchmark):
-    """Appendix B.2: sliding matches PRBP on binary trees, but not on ternary trees."""
-
-    def run():
-        binary = binary_tree_instance(3)
-        ternary = kary_tree_instance(3, 2)
         return (
-            optimal_rbp_cost(binary.dag, 3, variant=SLIDING),
-            optimal_prbp_cost(binary.dag, 3),
-            optimal_rbp_cost(ternary.dag, 4, variant=SLIDING),
-            optimal_prbp_cost(ternary.dag, 4),
+            run_scenario("fig1-rbp-recompute", tier="quick"),
+            run_scenario("fig1-rbp-sliding", tier="quick"),
+            run_scenario("fig1-rbp-optimal", tier="quick"),
         )
 
-    bin_slide, bin_prbp, ter_slide, ter_prbp = benchmark(run)
-    assert bin_slide == bin_prbp  # sliding closes the gap for k = 2
-    assert ter_prbp < ter_slide  # but not for k = 3
-
-
-def bench_no_delete_variant(benchmark):
-    """Appendix B.4: without deletions every value is written out, OPT >= n - r."""
-    inst = binary_tree_instance(2)
-    r = 3
-    cost = benchmark(lambda: optimal_prbp_cost(inst.dag, r, variant=NO_DELETE))
-    assert cost >= inst.dag.n - r
-    assert cost >= optimal_prbp_cost(inst.dag, r)
-
-
-def bench_variants_table(benchmark):
-    """Summary table of the Appendix B variant comparison on the Figure 1 family."""
-
-    def build():
-        fig = figure1_instance().dag
-        fig_z = figure1_instance(with_z_layer=True).dag
-        fig_w0 = figure1_instance(with_w0=True).dag
-        return [
-            ["one-shot RBP", optimal_rbp_cost(fig, 4)],
-            ["one-shot PRBP", optimal_prbp_cost(fig, 4)],
-            ["RBP + re-computation", optimal_rbp_cost(fig, 4, variant=RECOMPUTE)],
-            ["RBP + re-computation (z-layer gadget)", optimal_rbp_cost(fig_z, 4, variant=RECOMPUTE)],
-            ["RBP + sliding", optimal_rbp_cost(fig, 4, variant=SLIDING)],
-            ["RBP + sliding (w0 gadget)", optimal_rbp_cost(fig_w0, 4, variant=SLIDING)],
-            ["PRBP (z-layer gadget)", optimal_prbp_cost(fig_z, 4)],
-            ["PRBP (w0 gadget)", optimal_prbp_cost(fig_w0, 4)],
-        ]
-
-    rows = build()
-    benchmark(build)
-    print()
-    print(
-        format_table(
-            ["model / gadget", "optimal I/O"],
-            rows,
-            title="Appendix B — model variants on the Figure 1 family (r = 4)",
-        )
-    )
-    costs = dict(rows)
-    assert costs["one-shot PRBP"] == 2 and costs["one-shot RBP"] == 3
-    assert costs["PRBP (z-layer gadget)"] == 2 and costs["PRBP (w0 gadget)"] == 2
+    recompute, sliding, one_shot = benchmark(run)
+    assert recompute.io_cost == sliding.io_cost == 2
+    assert one_shot.io_cost == 3

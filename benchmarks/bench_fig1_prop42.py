@@ -1,38 +1,46 @@
 """E01 — Figure 1 / Proposition 4.2: OPT_RBP = 3 vs OPT_PRBP = 2 at r = 4.
 
-Regenerates the paper's first quantitative claim through the unified
-``repro.api`` facade: the auto-dispatch portfolio runs the exhaustive optimal
-solvers on the 10-node Figure 1 DAG, and the named ``figure1`` solver
-replays the Appendix A.1 hand-written strategies as a cross-check.
+Thin pytest-benchmark wrapper over the ``repro.bench`` scenario registry:
+the workload definitions live in :mod:`repro.bench.scenarios` under the
+``prop4.2`` group (exhaustive optima plus the Appendix A.1 hand-written
+strategies); this file drives them through the shared runner and re-asserts
+the paper's opening gap on the returned records.
 """
 
-from repro.api import PebblingProblem, solve
-from repro.dags import figure1_gadget
+from _helpers import make_group_bench
+from repro.bench import run_scenario
+
+GROUP = "prop4.2"
 
 
-def bench_opt_rbp_figure1(benchmark):
-    """Exhaustive OPT_RBP on Figure 1 via solve() (paper: 3)."""
-    problem = PebblingProblem(figure1_gadget(), r=4, game="rbp")
-    result = benchmark(lambda: solve(problem))
-    assert result.cost == 3 and result.solver == "exhaustive" and result.optimal
+bench_scenario = make_group_bench(GROUP)
 
 
-def bench_opt_prbp_figure1(benchmark):
-    """Exhaustive OPT_PRBP on Figure 1 via solve() (paper: 2)."""
-    problem = PebblingProblem(figure1_gadget(), r=4, game="prbp")
-    result = benchmark(lambda: solve(problem))
-    assert result.cost == 2 and result.solver == "exhaustive" and result.optimal
-
-
-def bench_appendix_a1_strategies(benchmark):
-    """Replaying the Appendix A.1 strategies through the named registry solver."""
-    dag = figure1_gadget()
+def bench_prop42_gap(benchmark):
+    """The paper's first claim: partial computations save one I/O on Figure 1."""
 
     def run():
-        rbp = solve(PebblingProblem(dag, 4, game="rbp"), solver="figure1")
-        prbp = solve(PebblingProblem(dag, 4, game="prbp"), solver="figure1")
-        return rbp.cost, prbp.cost
+        return (
+            run_scenario("fig1-rbp-optimal", tier="quick"),
+            run_scenario("fig1-prbp-optimal", tier="quick"),
+        )
 
-    rbp_cost, prbp_cost = benchmark(run)
-    assert (rbp_cost, prbp_cost) == (3, 2)
-    assert prbp_cost < rbp_cost
+    rbp, prbp = benchmark(run)
+    assert rbp.io_cost == 3 and rbp.optimal
+    assert prbp.io_cost == 2 and prbp.optimal
+    assert prbp.io_cost < rbp.io_cost
+    # the exhaustive runs expose their search telemetry
+    assert rbp.states_expanded is not None and rbp.states_expanded > 0
+
+
+def bench_appendix_a1_matches_exhaustive(benchmark):
+    """The hand-written A.1 strategies replay to the exhaustive optima."""
+
+    def run():
+        return (
+            run_scenario("fig1-appA1-rbp", tier="quick"),
+            run_scenario("fig1-appA1-prbp", tier="quick"),
+        )
+
+    rbp, prbp = benchmark(run)
+    assert (rbp.io_cost, prbp.io_cost) == (3, 2)

@@ -1,72 +1,22 @@
 """E07 — Lemma 5.4: the classic S-partition bound does not carry over to PRBP.
 
-On the Figure 3 fan-in DAG, the actual PRBP cost stays at the trivial 8 (for
-r = 3) no matter how large the groups grow, while the minimum S-partition
-with S = 2r = 6 needs Θ(n) classes — so the Hong–Kung style bound would
-wrongly predict an Ω(n) cost.  The adapted S-dominator partition stays small,
-as Theorem 6.7 requires.
+Thin pytest-benchmark wrapper over the ``repro.bench`` scenario registry
+(group ``lemma5.4``): the fan-in-groups PRBP cost stays at the trivial 8 (for
+r = 3) no matter how large the groups grow — so a Hong–Kung style S-partition
+bound, which needs Θ(n) classes here, would wrongly predict Ω(n) cost.
 """
 
-import pytest
+from _helpers import make_group_bench
+from repro.bench import run_scenario
 
-from repro.analysis.reporting import format_table
-from repro.bounds.analytic import fanin_min_part_lower_bound
-from repro.bounds.hongkung import rbp_lower_bound_from_min_part
-from repro.bounds.minpart import min_dominator_partition_classes, min_spartition_classes
-from repro.dags import fanin_groups_instance
-from repro.solvers.structured import fanin_groups_prbp_schedule
-
-GROUP_SIZES = [6, 24, 96, 384]
-R = 3
+GROUP = "lemma5.4"
 
 
-@pytest.mark.parametrize("group_size", GROUP_SIZES)
-def bench_fanin_prbp_cost_is_constant(benchmark, group_size):
-    """PRBP cost equals the trivial 8 regardless of the group size."""
-    inst = fanin_groups_instance(7, group_size)
-    cost = benchmark(lambda: fanin_groups_prbp_schedule(inst, r=R).cost())
-    assert cost == 8
+bench_scenario = make_group_bench(GROUP)
 
 
-def bench_fanin_exact_partitions_small(benchmark):
-    """Exact MIN_part vs MIN_dom on a small instance: the node partition is the loose one."""
-    inst = fanin_groups_instance(num_groups=3, group_size=2)  # 10 nodes, S = 2 separates
-
-    def run():
-        return (
-            min_spartition_classes(inst.dag, 2),
-            min_dominator_partition_classes(inst.dag, 2),
-        )
-
-    part, dom = benchmark.pedantic(run, rounds=2, iterations=1)
-    assert part >= fanin_min_part_lower_bound(3, 2, 2)
-    assert dom <= part
-
-
-def bench_fanin_table(benchmark):
-    """Lemma 5.4's separation: the stale bound grows with n, the true cost does not."""
-
-    def build():
-        rows = []
-        for group_size in GROUP_SIZES:
-            inst = fanin_groups_instance(7, group_size)
-            prbp = fanin_groups_prbp_schedule(inst, r=R).cost()
-            stale_bound = rbp_lower_bound_from_min_part(
-                R, fanin_min_part_lower_bound(7, group_size, 2 * R)
-            )
-            rows.append([group_size, inst.dag.n, prbp, stale_bound])
-        return rows
-
-    rows = build()
-    benchmark(build)
-    print()
-    print(
-        format_table(
-            ["group size", "n", "OPT_PRBP (measured)", "r·(MIN_part(2r)-1) (invalid for PRBP)"],
-            rows,
-            title="Lemma 5.4 — S-partitions over-estimate PRBP cost (r = 3)",
-        )
-    )
-    bounds = [row[3] for row in rows]
-    assert all(row[2] == 8 for row in rows)
-    assert bounds == sorted(bounds) and bounds[-1] > 8
+def bench_lemma54_constant_cost(benchmark):
+    """The streaming strategy's cost is a size-independent, optimal 8."""
+    record = benchmark(run_scenario, "fanin-streaming-prbp", tier="quick")
+    assert record.solver_used == "fanin-streaming"
+    assert record.io_cost == 8 and record.optimal

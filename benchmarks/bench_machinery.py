@@ -1,82 +1,33 @@
-"""E14 — cross-cutting machinery: Proposition 4.1 conversion and the extraction lemmas.
+"""E14 — cross-cutting machinery: greedy pebbling of random layered DAGs.
 
-These benchmarks exercise the generic machinery the paper's proofs rest on,
-over random layered DAGs: converting RBP schedules to PRBP preserves the I/O
-cost exactly, and every PRBP strategy yields valid (2r)-edge / (2r)-dominator
-partitions (Lemmas 6.4 and 6.8).
+Thin pytest-benchmark wrapper over the ``repro.bench`` scenario registry
+(group ``machinery``): random layered DAGs at several edge densities are
+pebbled through the facade in both games — the family no structured strategy
+claims, so these records track the greedy engine (and the Proposition 4.1
+machinery behind it) in isolation.
 """
 
-import pytest
+from _helpers import make_group_bench
+from repro.bench import run_scenario
 
-from repro.bounds.partitions import (
-    dominator_partition_from_prbp_schedule,
-    edge_partition_from_prbp_schedule,
-    spartition_from_rbp_schedule,
-)
-from repro.core.conversion import convert_rbp_to_prbp
-from repro.dags import random_layered_dag
-from repro.solvers.greedy import greedy_rbp_schedule, topological_prbp_schedule
+GROUP = "machinery"
 
 
-def _dag(seed: int):
-    return random_layered_dag([6, 8, 8, 6, 4], edge_probability=0.3, max_in_degree=4, seed=seed)
+def _extra(record):
+    assert record.solver_used == "greedy"
 
 
-@pytest.mark.parametrize("seed", [0, 1, 2])
-def bench_proposition41_conversion(benchmark, seed):
-    """RBP → PRBP conversion on a greedy schedule of a 32-node layered DAG."""
-    dag = _dag(seed)
-    r = dag.max_in_degree + 2
-    rbp_schedule = greedy_rbp_schedule(dag, r)
+bench_scenario = make_group_bench(GROUP, extra=_extra)
+
+
+def bench_density_raises_cost(benchmark):
+    """More edges mean more operands resident at once: cost grows with density."""
 
     def run():
-        prbp_schedule = convert_rbp_to_prbp(rbp_schedule)
-        return prbp_schedule.validate().io_cost
+        return (
+            run_scenario("random-layered-sparse", tier="quick"),
+            run_scenario("random-layered-dense", tier="quick"),
+        )
 
-    cost = benchmark(run)
-    assert cost == rbp_schedule.cost()
-
-
-@pytest.mark.parametrize("seed", [0, 1, 2])
-def bench_lemma64_edge_partition_extraction(benchmark, seed):
-    """Lemma 6.4: extracting and verifying the (2r)-edge partition of a PRBP strategy."""
-    dag = _dag(seed)
-    schedule = topological_prbp_schedule(dag, 4)
-
-    def run():
-        partition = edge_partition_from_prbp_schedule(schedule)
-        partition.verify()
-        return len(partition)
-
-    k = benchmark(run)
-    assert schedule.cost() >= schedule.r * (k - 1)
-
-
-@pytest.mark.parametrize("seed", [0, 1])
-def bench_lemma68_dominator_partition_extraction(benchmark, seed):
-    """Lemma 6.8: extracting and verifying the (2r)-dominator partition of a PRBP strategy."""
-    dag = _dag(seed)
-    schedule = topological_prbp_schedule(dag, 4)
-
-    def run():
-        partition = dominator_partition_from_prbp_schedule(schedule)
-        partition.verify()
-        return len(partition)
-
-    k = benchmark(run)
-    assert schedule.cost() >= schedule.r * (k - 1)
-
-
-def bench_hong_kung_extraction(benchmark):
-    """Hong & Kung's original S-partition extraction from an RBP schedule."""
-    dag = _dag(3)
-    r = dag.max_in_degree + 1
-    schedule = greedy_rbp_schedule(dag, r)
-
-    def run():
-        partition = spartition_from_rbp_schedule(schedule)
-        partition.verify()
-        return len(partition)
-
-    k = benchmark(run)
-    assert schedule.cost() >= r * (k - 1)
+    sparse, dense = benchmark(run)
+    assert sparse.io_cost < dense.io_cost

@@ -1,63 +1,30 @@
-"""E02 — Proposition 4.3: matrix–vector multiplication, OPT_PRBP = m²+2m < m²+3m-1 <= OPT_RBP.
+"""E02 — Proposition 4.3: mat-vec, OPT_PRBP = m² + 2m < m² + 3m - 1 <= OPT_RBP.
 
-The PRBP column-streaming strategy achieves the trivial cost for every
-``m + 3 <= r``; the RBP lower bound of the proposition is strictly larger for
-``m >= 3``, so partial computations win on this family at every size.  All
-instances go through the unified ``repro.api`` facade: the ``matvec`` family
-tag routes the PRBP side to the streaming strategy, and the RBP side to the
-greedy fallback.
+Thin pytest-benchmark wrapper over the ``repro.bench`` scenario registry
+(group ``prop4.3``): the PRBP column-streaming strategy hits the trivial
+cost, while the RBP side carries the strictly larger Proposition 4.3 lower
+bound — so partial computations win on this family at every size.
 """
 
-import pytest
+from _helpers import make_group_bench
+from repro.bench import run_scenario
 
-from repro.analysis.reporting import format_table
-from repro.api import PebblingProblem, solve
-from repro.bounds.analytic import matvec_prbp_optimal_cost, matvec_rbp_lower_bound
-from repro.dags import matvec_dag
-
-SIZES = [3, 4, 6, 8]
+GROUP = "prop4.3"
 
 
-@pytest.mark.parametrize("m", SIZES)
-def bench_matvec_prbp_strategy(benchmark, m):
-    """Auto-dispatched PRBP column-streaming strategy (paper: m² + 2m)."""
-    problem = PebblingProblem(matvec_dag(m), r=m + 3, game="prbp")
-    result = benchmark(lambda: solve(problem, exact_node_limit=0))
-    assert result.solver == "matvec-streaming"
-    assert result.cost == matvec_prbp_optimal_cost(m) == m * m + 2 * m
-    assert result.cost < matvec_rbp_lower_bound(m)
-    assert result.optimal  # the strategy meets the trivial-cost lower bound
+bench_scenario = make_group_bench(GROUP)
 
 
-@pytest.mark.parametrize("m", [4, 6])
-def bench_matvec_rbp_greedy_upper_bound(benchmark, m):
-    """The greedy RBP fallback at r = m + 3 (upper bound; dominated by the PRBP optimum)."""
-    problem = PebblingProblem(matvec_dag(m), r=m + 3, game="rbp")
-    result = benchmark(lambda: solve(problem, exact_node_limit=0))
-    assert result.solver == "greedy"
-    assert result.cost >= matvec_rbp_lower_bound(m) - (m - 1)  # at least the trivial cost
-    assert result.cost >= matvec_prbp_optimal_cost(m)
+def bench_prop43_separation(benchmark):
+    """PRBP achieves the trivial cost; the RBP bound already exceeds it."""
 
-
-def bench_matvec_table(benchmark):
-    """Whole sweep: the table the proposition implies (PRBP cost vs RBP lower bound)."""
-
-    def build():
-        rows = []
-        for m in SIZES:
-            res = solve(PebblingProblem(matvec_dag(m), m + 3, game="prbp"), exact_node_limit=0)
-            rows.append([m, res.problem.trivial_cost, res.cost, matvec_rbp_lower_bound(m)])
-        return rows
-
-    rows = build()
-    benchmark(build)
-    print()
-    print(
-        format_table(
-            ["m", "trivial", "PRBP strategy", "RBP lower bound"],
-            rows,
-            title="Proposition 4.3 — matrix-vector multiplication (r = m + 3)",
+    def run():
+        return (
+            run_scenario("matvec-prbp-streaming", tier="quick"),
+            run_scenario("matvec-rbp-greedy", tier="quick"),
         )
-    )
-    for _, trivial, prbp, rbp_lb in rows:
-        assert prbp == trivial < rbp_lb
+
+    prbp, rbp = benchmark(run)
+    assert prbp.solver_used == "matvec-streaming" and prbp.optimal
+    assert rbp.lower_bound_source == "prop4.3"
+    assert prbp.io_cost < rbp.lower_bound <= rbp.io_cost

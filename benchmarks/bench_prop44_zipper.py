@@ -1,57 +1,27 @@
 """E03 — Proposition 4.4: the zipper gadget at r = d + 2.
 
-RBP pays ``d`` loads per chain node (the resident source group alternates);
-PRBP pre-aggregates one group's contribution and pays about 2 I/O per chain
-node, which is cheaper as soon as ``d >= 3``.
+Thin pytest-benchmark wrapper over the ``repro.bench`` scenario registry
+(group ``prop4.4``): RBP pays ``d`` loads per chain node, PRBP pre-aggregates
+one group's contribution and pays about 2 — cheaper as soon as ``d >= 3``.
 """
 
-import pytest
+from _helpers import make_group_bench
+from repro.bench import run_scenario
 
-from repro.analysis.reporting import format_table
-from repro.bounds.analytic import zipper_prbp_cost_estimate, zipper_rbp_cost_estimate
-from repro.dags import zipper_instance
-from repro.solvers.structured import zipper_prbp_schedule, zipper_rbp_schedule
-
-CASES = [(3, 8), (4, 8), (5, 12), (6, 16)]
+GROUP = "prop4.4"
 
 
-@pytest.mark.parametrize("d,length", CASES)
-def bench_zipper_prbp(benchmark, d, length):
-    """Two-phase PRBP strategy (≈ 2 I/O per chain node)."""
-    inst = zipper_instance(d, length)
-    cost = benchmark(lambda: zipper_prbp_schedule(inst).cost())
-    assert cost == zipper_prbp_cost_estimate(d, length)
+bench_scenario = make_group_bench(GROUP)
 
 
-@pytest.mark.parametrize("d,length", CASES)
-def bench_zipper_rbp(benchmark, d, length):
-    """Alternating-group RBP strategy (d I/O per chain node)."""
-    inst = zipper_instance(d, length)
-    cost = benchmark(lambda: zipper_rbp_schedule(inst).cost())
-    assert cost == zipper_rbp_cost_estimate(d, length)
+def bench_prop44_separation(benchmark):
+    """PRBP < RBP on the same zipper instance (d = 4 here, so the gap is real)."""
 
-
-def bench_zipper_table(benchmark):
-    """Proposition 4.4's claim: PRBP < RBP whenever d >= 3."""
-
-    def build():
-        rows = []
-        for d, length in CASES:
-            inst = zipper_instance(d, length)
-            rows.append(
-                [d, length, zipper_prbp_schedule(inst).cost(), zipper_rbp_schedule(inst).cost()]
-            )
-        return rows
-
-    rows = build()
-    benchmark(build)
-    print()
-    print(
-        format_table(
-            ["d", "chain length", "PRBP", "RBP"],
-            rows,
-            title="Proposition 4.4 — zipper gadget at r = d + 2",
+    def run():
+        return (
+            run_scenario("zipper-prbp", tier="quick"),
+            run_scenario("zipper-rbp", tier="quick"),
         )
-    )
-    for d, _, prbp, rbp in rows:
-        assert prbp < rbp
+
+    prbp, rbp = benchmark(run)
+    assert prbp.io_cost < rbp.io_cost

@@ -1,88 +1,27 @@
 """E04 — Proposition 4.5 / Appendix A.2: k-ary reduction trees at r = k + 1.
 
-Closed forms: OPT_RBP = k^d + 2·k^(d-1) - 1 and OPT_PRBP = k^d + 2·k^(d-k) - 1.
-All instances are dispatched through the unified ``repro.api`` facade; the
-``kary_tree`` family tag routes them to the Appendix A.2 structured
-strategies, whose replayed costs must land exactly on the closed forms — and,
-since the closed forms double as lower bounds at the critical capacity, every
-result reports ``optimal`` without an exhaustive search.
+Thin pytest-benchmark wrapper over the ``repro.bench`` scenario registry
+(group ``prop4.5``): the structured tree strategies must land exactly on the
+closed forms OPT_RBP = k^d + 2k^(d-1) - 1 and OPT_PRBP = k^d + 2k^(d-k) - 1,
+which double as lower bounds at the critical capacity — so every record
+reports provable optimality without an exhaustive search.
 """
 
 import pytest
 
-from repro.analysis.reporting import format_table
-from repro.api import PebblingProblem, solve
-from repro.dags import kary_tree_dag
-from repro.dags.trees import optimal_prbp_tree_cost, optimal_rbp_tree_cost
+from _helpers import make_group_bench
+from repro.bench import run_scenario, scenario_names
 
-CASES = [(2, 3), (2, 5), (2, 7), (3, 3), (3, 4), (4, 4)]
+GROUP = "prop4.5"
 
 
-@pytest.mark.parametrize("k,depth", CASES)
-def bench_tree_rbp_strategy(benchmark, k, depth):
-    """Appendix A.2 RBP strategy via solve(): k^d + 2·k^(d-1) - 1."""
-    problem = PebblingProblem(kary_tree_dag(k, depth), r=k + 1, game="rbp")
-    result = benchmark(lambda: solve(problem, exact_node_limit=0))
-    assert result.solver == "tree"
-    assert result.cost == optimal_rbp_tree_cost(k, depth)
-    assert result.optimal
+bench_scenario = make_group_bench(GROUP)
 
 
-@pytest.mark.parametrize("k,depth", CASES)
-def bench_tree_prbp_strategy(benchmark, k, depth):
-    """Appendix A.2 PRBP strategy via solve(): k^d + 2·k^(d-k) - 1."""
-    problem = PebblingProblem(kary_tree_dag(k, depth), r=k + 1, game="prbp")
-    result = benchmark(lambda: solve(problem, exact_node_limit=0))
-    assert result.solver == "tree"
-    assert result.cost == optimal_prbp_tree_cost(k, depth)
-    assert result.optimal
-
-
-def bench_tree_exhaustive_confirms_formulas(benchmark):
-    """Exhaustive optimum at depth 3 (binary): both formulas are optimal."""
-    dag = kary_tree_dag(2, 3)
-
-    def run():
-        rbp = solve(PebblingProblem(dag, 3, game="rbp"), exact_node_limit=dag.n)
-        prbp = solve(PebblingProblem(dag, 3, game="prbp"), exact_node_limit=dag.n)
-        assert rbp.solver == prbp.solver == "exhaustive"
-        return rbp.cost, prbp.cost
-
-    rbp, prbp = benchmark(run)
-    assert rbp == optimal_rbp_tree_cost(2, 3) == 15
-    assert prbp == optimal_prbp_tree_cost(2, 3) == 11
-
-
-def bench_tree_table(benchmark):
-    """The Appendix A.2 cost table (strategy cost vs closed form)."""
-
-    def build():
-        rows = []
-        for k, depth in CASES:
-            dag = kary_tree_dag(k, depth)
-            rbp = solve(PebblingProblem(dag, k + 1, game="rbp"), exact_node_limit=0)
-            prbp = solve(PebblingProblem(dag, k + 1, game="prbp"), exact_node_limit=0)
-            rows.append(
-                [
-                    k,
-                    depth,
-                    rbp.cost,
-                    optimal_rbp_tree_cost(k, depth),
-                    prbp.cost,
-                    optimal_prbp_tree_cost(k, depth),
-                ]
-            )
-        return rows
-
-    rows = build()
-    benchmark(build)
-    print()
-    print(
-        format_table(
-            ["k", "depth", "RBP strategy", "RBP formula", "PRBP strategy", "PRBP formula"],
-            rows,
-            title="Proposition 4.5 / Appendix A.2 — k-ary trees at r = k + 1",
-        )
-    )
-    for _, _, rbp, rbp_f, prbp, prbp_f in rows:
-        assert rbp == rbp_f and prbp == prbp_f and prbp <= rbp
+@pytest.mark.parametrize("name", scenario_names(group=GROUP))
+def bench_closed_forms_are_optimal(benchmark, name):
+    """Every tree record matches its App. A.2 closed form and proves optimality."""
+    record = benchmark.pedantic(run_scenario, args=(name,), kwargs={"tier": "quick"}, rounds=1)
+    assert record.solver_used == "tree"
+    assert record.expected_cost is not None and record.io_cost == record.expected_cost
+    assert record.optimal and record.gap == 0

@@ -1,65 +1,29 @@
 """E05 — Proposition 4.6: the pebble collection gadget.
 
-With ``d + 2`` red pebbles the gadget costs only the trivial amount (in both
-games); a strategy that never gathers ``d + 2`` pebbles on it pays at least
-``length / (2d)`` extra — demonstrated here by pebbling with a strictly
-smaller cache.
+Thin pytest-benchmark wrapper over the ``repro.bench`` scenario registry
+(group ``prop4.6``): with ``d + 2`` red pebbles the gadget costs only the
+trivial amount; one pebble short, the cost exceeds it by at least
+``length / (2d)``.
 """
 
-import pytest
+from _helpers import make_group_bench
+from repro.bench import run_scenario
 
-from repro.analysis.reporting import format_table
-from repro.bounds.analytic import collection_io_lower_bound_without_full_pebbles
-from repro.dags import pebble_collection_instance
-from repro.solvers.greedy import topological_prbp_schedule
-from repro.solvers.structured import collection_full_prbp_schedule, collection_full_rbp_schedule
-
-CASES = [(2, 12), (3, 18), (4, 24)]
+GROUP = "prop4.6"
 
 
-@pytest.mark.parametrize("d,length", CASES)
-def bench_collection_full_pebbles(benchmark, d, length):
-    """With d + 2 pebbles, only the trivial cost (both games)."""
-    inst = pebble_collection_instance(d, length)
+bench_scenario = make_group_bench(GROUP)
+
+
+def bench_prop46_penalty(benchmark):
+    """Full pebbles: trivial cost.  One short: a strictly positive penalty."""
 
     def run():
-        return collection_full_rbp_schedule(inst).cost(), collection_full_prbp_schedule(inst).cost()
-
-    rbp, prbp = benchmark(run)
-    assert rbp == prbp == inst.dag.trivial_cost()
-
-
-@pytest.mark.parametrize("d,length", CASES)
-def bench_collection_restricted_cache(benchmark, d, length):
-    """With fewer than d + 2 pebbles the cost exceeds the Proposition 4.6 bound."""
-    inst = pebble_collection_instance(d, length)
-    cost = benchmark(lambda: topological_prbp_schedule(inst.dag, d + 1).cost())
-    extra = cost - inst.dag.trivial_cost()
-    assert extra >= collection_io_lower_bound_without_full_pebbles(d, length)
-
-
-def bench_collection_table(benchmark):
-    """Cost with full pebbles vs restricted cache vs the ℓ/(2d) bound."""
-
-    def build():
-        rows = []
-        for d, length in CASES:
-            inst = pebble_collection_instance(d, length)
-            full = collection_full_prbp_schedule(inst).cost()
-            restricted = topological_prbp_schedule(inst.dag, d + 1).cost()
-            bound = collection_io_lower_bound_without_full_pebbles(d, length)
-            rows.append([d, length, full, restricted, inst.dag.trivial_cost() + bound])
-        return rows
-
-    rows = build()
-    benchmark(build)
-    print()
-    print(
-        format_table(
-            ["d", "length", "PRBP (r=d+2)", "PRBP (r=d+1)", "trivial + ℓ/(2d)"],
-            rows,
-            title="Proposition 4.6 — pebble collection gadget",
+        return (
+            run_scenario("collection-full-pebbles", tier="quick"),
+            run_scenario("collection-restricted-cache", tier="quick"),
         )
-    )
-    for _, _, full, restricted, bound in rows:
-        assert full < restricted and restricted >= bound
+
+    full, restricted = benchmark(run)
+    assert full.gap == 0 and full.optimal
+    assert restricted.io_cost > full.io_cost

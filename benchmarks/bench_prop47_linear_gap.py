@@ -1,77 +1,30 @@
 """E06 — Proposition 4.7: a linear-factor gap between RBP and PRBP at r = 4.
 
-The chained Figure-1 gadget has OPT_PRBP = 2 regardless of its length, while
-OPT_RBP grows linearly (at least one I/O per gadget copy).  Everything runs
-through the unified ``repro.api`` facade: the ``chained_gadget`` family tag
-routes the PRBP side to the Proposition 4.7 strategy (whose result comes back
-provably optimal — its cost meets the lower bound), the RBP side falls back
-to greedy, and the sweep table is produced by
-:func:`repro.analysis.run_solver_sweep`.
+Thin pytest-benchmark wrapper over the ``repro.bench`` scenario registry
+(group ``prop4.7``): the chained Figure-1 gadget has OPT_PRBP = 2 regardless
+of its length, while OPT_RBP grows linearly (at least one I/O per copy).
 """
 
-import pytest
+from _helpers import make_group_bench
+from repro.bench import run_scenario
 
-from repro.analysis.reporting import format_table
-from repro.analysis.sweep import run_solver_sweep
-from repro.api import PebblingProblem, solve
-from repro.bounds.analytic import chained_gadget_prbp_optimal_cost, chained_gadget_rbp_lower_bound
-from repro.dags import chained_gadget_dag
-
-COPIES = [2, 8, 32, 128]
+GROUP = "prop4.7"
 
 
-@pytest.mark.parametrize("copies", COPIES)
-def bench_chained_prbp_constant_cost(benchmark, copies):
-    """PRBP cost stays at 2 for any number of copies, and is provably optimal."""
-    problem = PebblingProblem(chained_gadget_dag(copies), r=4, game="prbp")
-    result = benchmark(lambda: solve(problem, exact_node_limit=0))
-    assert result.solver == "chained-gadget"
-    assert result.cost == chained_gadget_prbp_optimal_cost() == 2
-    assert result.optimal
+bench_scenario = make_group_bench(GROUP)
 
 
-@pytest.mark.parametrize("copies", [2, 8, 32])
-def bench_chained_rbp_greedy(benchmark, copies):
-    """Greedy RBP upper bound grows at least linearly (>= the analytic lower bound)."""
-    problem = PebblingProblem(chained_gadget_dag(copies), r=4, game="rbp")
-    result = benchmark(lambda: solve(problem, exact_node_limit=0))
-    assert result.solver == "greedy"
-    assert result.cost >= chained_gadget_rbp_lower_bound(copies)
-    assert result.lower_bound == chained_gadget_rbp_lower_bound(copies)
+def bench_prop47_linear_vs_constant(benchmark):
+    """PRBP is a provably optimal constant; RBP's lower bound alone is linear."""
 
-
-def bench_chained_single_copy_exact(benchmark):
-    """Exhaustive check of the per-gadget claim: one copy already forces RBP cost >= 3."""
-    dag = chained_gadget_dag(1)
-    problem = PebblingProblem(dag, r=4, game="rbp")
-    result = benchmark(lambda: solve(problem, solver="exhaustive"))
-    assert result.cost >= 3 and result.optimal
-
-
-def bench_chained_sweep_table(benchmark):
-    """The linear-vs-constant table behind Proposition 4.7, as a solver sweep."""
-
-    def build():
-        return run_solver_sweep(
-            ["copies"],
-            [(c,) for c in COPIES],
-            lambda copies: PebblingProblem(chained_gadget_dag(copies), r=4, game="prbp"),
-            exact_node_limit=0,
+    def run():
+        return (
+            run_scenario("chained-prbp-constant", tier="quick"),
+            run_scenario("chained-rbp-greedy", tier="quick"),
         )
 
-    sweep = build()
-    benchmark(build)
-    print()
-    print(sweep.as_table(title="Proposition 4.7 — chained gadgets at r = 4 (Θ(n) vs O(1))"))
-    assert sweep.column("cost") == [2] * len(COPIES)
-    assert all(sweep.column("optimal"))
-    assert set(sweep.column("solver")) == {"chained-gadget"}
-    # the RBP side of the same sweep grows linearly
-    rbp_rows = []
-    for copies in COPIES:
-        res = solve(
-            PebblingProblem(chained_gadget_dag(copies), r=4, game="rbp"), exact_node_limit=0
-        )
-        rbp_rows.append([copies, res.cost, res.lower_bound])
-        assert res.cost >= chained_gadget_rbp_lower_bound(copies)
-    print(format_table(["copies", "RBP greedy", "RBP lower bound"], rbp_rows))
+    prbp, rbp = benchmark(run)
+    assert prbp.io_cost == 2 and prbp.optimal
+    assert rbp.lower_bound_source == "prop4.7"
+    assert rbp.lower_bound > prbp.io_cost  # already linear in the copy count
+    assert rbp.io_cost >= rbp.lower_bound

@@ -1,95 +1,29 @@
-"""E11 — Theorem 4.8 / Lemma 4.10: the NP-hardness reduction machinery.
+"""E11 — Theorem 4.8: pebbling the NP-hardness reduction construction.
 
-Benchmarks the ``maxinset-vertex`` decision procedure, the Lemma A.1
-self-reduction, and the construction of the Appendix A.4 reduction DAG
-(faithful parameters), checking the structural invariants the proof relies
-on (polynomial size, merged sources, cross replacements, the discriminator
-sink ``w``).
+Thin pytest-benchmark wrapper over the ``repro.bench`` scenario registry
+(group ``thm4.8``): the Appendix A.4 reduction DAG (with scaled-down chain
+lengths, keeping it polynomial-small) is pebbled greedily through the
+facade — the largest single workload in the suite, and the one that keeps
+the greedy engine honest on multi-thousand-node DAGs.
 """
 
-import pytest
+from _helpers import make_group_bench
+from repro.bench import get_scenario, run_scenario
 
-from repro.analysis.reporting import format_table
-from repro.hardness.independent_set import (
-    UndirectedGraph,
-    clique_number,
-    independence_number,
-    max_clique_via_vertex_oracle,
-    maxinset_vertex,
-)
-from repro.hardness.reduction_thm48 import build_theorem48_instance
+GROUP = "thm4.8"
 
 
-def _random_graph(n: int, p: float, seed: int) -> UndirectedGraph:
-    import numpy as np
-
-    rng = np.random.default_rng(seed)
-    edges = [(i, j) for i in range(n) for j in range(i + 1, n) if rng.random() < p]
-    return UndirectedGraph.from_edges(n, edges)
+bench_scenario = make_group_bench(GROUP)
 
 
-@pytest.mark.parametrize("n", [6, 8, 10])
-def bench_maxinset_vertex(benchmark, n):
-    """Exact maxinset-vertex decisions on random graphs (the reduction's source problem)."""
-    graph = _random_graph(n, 0.4, seed=n)
+def bench_reduction_dag_structure(benchmark):
+    """The reduction DAG stays polynomially sized and greedy-pebbleable."""
+    scenario = get_scenario("thm48-reduction-greedy")
 
     def run():
-        return [maxinset_vertex(graph, v) for v in range(n)]
+        return run_scenario(scenario, tier="quick")
 
-    answers = benchmark(run)
-    assert any(answers)  # some node always belongs to a maximum independent set
-
-
-@pytest.mark.parametrize("n", [6, 8])
-def bench_lemma_a1_self_reduction(benchmark, n):
-    """Lemma A.1: a maxclique-vertex oracle yields a maximum clique."""
-    graph = _random_graph(n, 0.5, seed=100 + n)
-    found = benchmark(lambda: max_clique_via_vertex_oracle(graph))
-    assert len(found) == clique_number(graph)
-
-
-@pytest.mark.parametrize("n0", [3, 4, 5])
-def bench_theorem48_construction(benchmark, n0):
-    """Building the Appendix A.4 reduction DAG with faithful parameters."""
-    graph = _random_graph(n0, 0.5, seed=7 * n0)
-    v0 = 0
-    inst = benchmark(lambda: build_theorem48_instance(graph, v0))
-    params = inst.params
-    # polynomial size in n0 and |E0|
-    assert inst.dag.n <= 2 * n0 * (params.ell + params.group_size) + 2
-    assert inst.dag.is_sink(inst.w)
-    assert set(inst.dag.predecessors(inst.w)) == set(inst.z1) | set(inst.z2)
-
-
-def bench_theorem48_table(benchmark):
-    """Construction sizes and the maxinset-vertex answers driving the reduction."""
-
-    def build():
-        rows = []
-        for n0 in (3, 4, 5):
-            graph = _random_graph(n0, 0.5, seed=7 * n0)
-            inst = build_theorem48_instance(graph, 0, chain_scale=0.05)
-            rows.append(
-                [
-                    n0,
-                    len(graph.edges),
-                    independence_number(graph),
-                    maxinset_vertex(graph, 0),
-                    inst.params.r,
-                    inst.dag.n,
-                    inst.dag.m,
-                ]
-            )
-        return rows
-
-    rows = build()
-    benchmark(build)
-    print()
-    print(
-        format_table(
-            ["n0", "|E0|", "alpha(G0)", "v0 in max ind. set", "r", "DAG nodes", "DAG edges"],
-            rows,
-            title="Theorem 4.8 — reduction instances (chain_scale = 0.05 for display)",
-        )
-    )
-    assert all(row[5] > 0 for row in rows)
+    record = benchmark.pedantic(run, rounds=1)
+    assert record.n is not None and record.n < 2000
+    assert record.solver_used == "greedy"
+    assert record.io_cost >= record.lower_bound

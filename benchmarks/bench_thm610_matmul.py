@@ -1,74 +1,18 @@
 """E09 — Theorem 6.10: matrix multiplication lower bound Ω(m1·m2·m3/√r) in PRBP.
 
-The tiled (outer-product) strategy is validated through the engine and its
-cost compared against the S-edge-partition counting bound; the √r scaling is
-checked by growing the cache.
+Thin pytest-benchmark wrapper over the ``repro.bench`` scenario registry
+(group ``thm6.10``): the outer-product tiled strategy is validated through
+the engine and its cost must never fall below the counting bound.
 """
 
-import pytest
+from _helpers import make_group_bench
 
-from repro.analysis.reporting import format_table
-from repro.bounds.analytic import matmul_prbp_lower_bound
-from repro.dags import matmul_instance
-from repro.solvers.baselines import naive_prbp_schedule
-from repro.solvers.structured import matmul_tiled_prbp_schedule
-
-CASES = [((4, 4, 4), 8), ((6, 6, 6), 8), ((6, 6, 6), 18), ((8, 8, 8), 18), ((4, 8, 6), 8)]
+GROUP = "thm6.10"
 
 
-@pytest.mark.parametrize("dims,r", CASES)
-def bench_matmul_tiled_strategy(benchmark, dims, r):
-    """Tiled PRBP strategy: O(m1·m2·m3/√r) I/O, never below the Theorem 6.10 bound."""
-    inst = matmul_instance(*dims)
-    cost = benchmark(lambda: matmul_tiled_prbp_schedule(inst, r=r).cost())
-    assert cost >= matmul_prbp_lower_bound(*dims, r)
-    assert cost >= inst.dag.trivial_cost()
+def _extra(record):
+    assert record.solver_used == "matmul-tiled"
+    assert record.io_cost >= record.lower_bound
 
 
-def bench_matmul_cache_scaling(benchmark):
-    """Quadrupling the cache roughly halves the non-trivial traffic (√r scaling)."""
-    inst = matmul_instance(8, 8, 8)
-
-    def run():
-        small = matmul_tiled_prbp_schedule(inst, r=8).cost()
-        large = matmul_tiled_prbp_schedule(inst, r=32).cost()
-        return small, large
-
-    small, large = benchmark(run)
-    trivial = inst.dag.trivial_cost()
-    assert (large - trivial) < (small - trivial)
-
-
-def bench_matmul_table(benchmark):
-    """The Theorem 6.10 table: lower bound vs tiled strategy vs naive baseline."""
-
-    def build():
-        rows = []
-        for dims, r in CASES:
-            inst = matmul_instance(*dims)
-            tiled = matmul_tiled_prbp_schedule(inst, r=r).cost()
-            naive = naive_prbp_schedule(inst.dag).cost()
-            rows.append(
-                [
-                    "x".join(map(str, dims)),
-                    r,
-                    inst.dag.trivial_cost(),
-                    matmul_prbp_lower_bound(*dims, r),
-                    tiled,
-                    naive,
-                ]
-            )
-        return rows
-
-    rows = build()
-    benchmark(build)
-    print()
-    print(
-        format_table(
-            ["dims", "r", "trivial", "PRBP lower bound", "tiled strategy", "naive"],
-            rows,
-            title="Theorem 6.10 — matrix multiplication I/O in PRBP",
-        )
-    )
-    for _, _, trivial, lower, tiled, naive in rows:
-        assert max(trivial, lower) <= tiled <= naive
+bench_scenario = make_group_bench(GROUP, extra=_extra)

@@ -1,65 +1,18 @@
-"""E10 — Theorem 6.11: attention (Q·Kᵀ + exp) lower bound in the two cache regimes.
+"""E10 — Theorem 6.11: attention (Q·Kᵀ + exp) I/O in PRBP.
 
-The flash-attention-style row-block strategy streams Kᵀ once per row block,
-so its matrix-product traffic scales as m²·d²/r in the large-cache regime;
-the measured cost must dominate the Theorem 6.11 bound in both regimes.
+Thin pytest-benchmark wrapper over the ``repro.bench`` scenario registry
+(group ``thm6.11``): the flash-attention-style row-block strategy streams Kᵀ
+once per row block; its measured cost must dominate the Theorem 6.11 bound.
 """
 
-import pytest
+from _helpers import make_group_bench
 
-from repro.analysis.reporting import format_table
-from repro.bounds.analytic import attention_prbp_lower_bound
-from repro.dags import attention_instance
-from repro.solvers.structured import attention_flash_prbp_schedule
-
-CASES = [(8, 2, 10), (8, 2, 20), (12, 2, 10), (12, 3, 16), (16, 4, 24), (16, 4, 40)]
+GROUP = "thm6.11"
 
 
-@pytest.mark.parametrize("m,d,r", CASES)
-def bench_attention_flash_strategy(benchmark, m, d, r):
-    """Flash-style tiled PRBP strategy, never below the Theorem 6.11 bound."""
-    inst = attention_instance(m, d)
-    cost = benchmark(lambda: attention_flash_prbp_schedule(inst, r=r).cost())
-    assert cost >= attention_prbp_lower_bound(m, d, r)
-    assert cost >= inst.dag.trivial_cost()
+def _extra(record):
+    assert record.solver_used == "attention-flash"
+    assert record.io_cost >= record.lower_bound
 
 
-def bench_attention_large_cache_scaling(benchmark):
-    """In the large-cache regime, a larger cache reduces the Kᵀ streaming traffic."""
-    inst = attention_instance(16, 2)
-
-    def run():
-        small = attention_flash_prbp_schedule(inst, r=2 * 2 + 6).cost()
-        large = attention_flash_prbp_schedule(inst, r=16 * 2 + 6).cost()
-        return small, large
-
-    small, large = benchmark(run)
-    assert large < small
-
-
-def bench_attention_table(benchmark):
-    """The Theorem 6.11 table: bound vs flash-style strategy across cache sizes."""
-
-    def build():
-        rows = []
-        for m, d, r in CASES:
-            inst = attention_instance(m, d)
-            cost = attention_flash_prbp_schedule(inst, r=r).cost()
-            regime = "small (r<=d^2)" if r <= d * d else "large (r>d^2)"
-            rows.append(
-                [m, d, r, regime, inst.dag.trivial_cost(), attention_prbp_lower_bound(m, d, r), cost]
-            )
-        return rows
-
-    rows = build()
-    benchmark(build)
-    print()
-    print(
-        format_table(
-            ["m", "d", "r", "regime", "trivial", "PRBP lower bound", "flash-style strategy"],
-            rows,
-            title="Theorem 6.11 — attention I/O in PRBP",
-        )
-    )
-    for *_, trivial, lower, cost in rows:
-        assert max(trivial, lower) <= cost
+bench_scenario = make_group_bench(GROUP, extra=_extra)

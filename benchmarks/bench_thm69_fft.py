@@ -1,59 +1,32 @@
 """E08 — Theorem 6.9: FFT lower bound Ω(m·log m / log r) carries over to PRBP.
 
-The blocked strategy's measured I/O and the S-dominator counting bound are
-reported side by side; the achievable cost must dominate the bound and both
-shrink as the cache grows.  Instances are dispatched through the unified
-``repro.api`` facade — the ``fft`` family tag routes them to the blocked
-strategy and each result already carries the best known lower bound.
+Thin pytest-benchmark wrapper over the ``repro.bench`` scenario registry
+(group ``thm6.9``): the blocked butterfly strategy's measured I/O must
+dominate the best known lower bound, and growing the cache must shrink it.
 """
 
-import pytest
+from _helpers import make_group_bench
+from repro.bench import run_scenario
 
-from repro.analysis.reporting import format_table
-from repro.api import PebblingProblem, solve
-from repro.bounds.analytic import fft_prbp_lower_bound
-from repro.dags import fft_dag
-
-CASES = [(16, 4), (32, 4), (64, 4), (32, 8), (64, 8), (64, 16)]
+GROUP = "thm6.9"
 
 
-@pytest.mark.parametrize("m,r", CASES)
-def bench_fft_blocked_strategy(benchmark, m, r):
-    """Blocked PRBP strategy via the named registry solver: O(m log m / log r) I/O.
-
-    Named dispatch pins the paper's strategy; the auto portfolio may pick
-    greedy instead at small r, where Belady eviction genuinely beats the
-    blocked schedule.
-    """
-    problem = PebblingProblem(fft_dag(m), r, game="prbp")
-    result = benchmark(lambda: solve(problem, solver="fft-blocked"))
-    assert result.solver == "fft-blocked"
-    assert result.cost >= fft_prbp_lower_bound(m, r)
-    assert result.lower_bound is not None and result.cost >= result.lower_bound
+def _extra(record):
+    assert record.solver_used == "fft-blocked"
 
 
-def bench_fft_table(benchmark):
-    """The Theorem 6.9 table: measured blocked cost vs the best known lower bound."""
+bench_scenario = make_group_bench(GROUP, extra=_extra)
 
-    def build():
-        rows = []
-        for m, r in CASES:
-            res = solve(PebblingProblem(fft_dag(m), r, game="prbp"), solver="fft-blocked")
-            rows.append([m, r, res.problem.trivial_cost, res.lower_bound, res.cost])
-        return rows
 
-    rows = build()
-    benchmark(build)
-    print()
-    print(
-        format_table(
-            ["m", "r", "trivial", "best lower bound", "blocked strategy"],
-            rows,
-            title="Theorem 6.9 — FFT I/O in PRBP",
+def bench_thm69_cache_scaling(benchmark):
+    """A larger cache (log r in the denominator) strictly reduces the cost."""
+
+    def run():
+        return (
+            run_scenario("fft-blocked-prbp", tier="quick"),
+            run_scenario("fft-blocked-prbp-large-cache", tier="quick"),
         )
-    )
-    for _, _, trivial, lower, cost in rows:
-        assert max(trivial, lower) <= cost
-    # growing the cache shrinks the measured cost (m = 64 rows)
-    m64 = [cost for m, r, _, _, cost in rows if m == 64]
-    assert m64 == sorted(m64, reverse=True)
+
+    small, large = benchmark(run)
+    assert small.n == large.n  # same DAG, different cache
+    assert large.io_cost < small.io_cost

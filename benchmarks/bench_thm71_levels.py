@@ -1,85 +1,19 @@
 """E12 — Theorem 7.1: the inapproximability construction's level gadgets.
 
-Benchmarks the auxiliary-level adaptation of the [3] towers: the adapted DAG
-stays polynomially larger, the cross-tower precedence edges are re-routed to
-auxiliary levels, and on the small demo instance the greedy PRBP cost of the
-adapted construction is no smaller than that of the plain one (the auxiliary
-levels only add constraints).
+Thin pytest-benchmark wrapper over the ``repro.bench`` scenario registry
+(group ``thm7.1``): the adapted (auxiliary-level) two-tower demo DAG is
+pebbled greedily through the facade; the auxiliary levels only add
+constraints, so the cost stays well above the trivial floor.
 """
 
-import pytest
+from _helpers import make_group_bench
 
-from repro.analysis.reporting import format_table
-from repro.hardness.levels import (
-    CrossEdge,
-    LevelRef,
-    TowerSpec,
-    build_towers_dag,
-    demo_theorem71_instance,
-    insert_auxiliary_levels,
-)
-from repro.solvers.greedy import topological_prbp_schedule
+GROUP = "thm7.1"
 
 
-@pytest.mark.parametrize("sizes", [(4, 4, 2, 3), (6, 5, 3, 3, 2), (5, 5, 5)])
-def bench_auxiliary_level_insertion(benchmark, sizes):
-    """The Appendix A.5 spec transformation (size bookkeeping only)."""
-    spec = TowerSpec(level_sizes=sizes)
-    adapted = benchmark(lambda: insert_auxiliary_levels(spec))
-    assert len(adapted.levels) > len(sizes)
-    # every shrink of ℓ -> ℓ' inserts ℓ - ℓ' + 2 auxiliary levels
-    expected_aux = 1  # top of tower
-    for prev, cur in zip(sizes, sizes[1:]):
-        expected_aux += (prev - cur + 2) if prev > cur else 1
-    assert sum(adapted.is_auxiliary) == expected_aux
+def _extra(record):
+    assert record.solver_used == "greedy"
+    assert record.io_cost >= record.lower_bound
 
 
-def bench_demo_construction(benchmark):
-    """Building the adapted two-tower demo DAG."""
-    inst = benchmark(lambda: demo_theorem71_instance(adapted=True))
-    plain = demo_theorem71_instance(adapted=False)
-    assert inst.dag.n > plain.dag.n
-    assert inst.dag.n < 10 * plain.dag.n
-
-
-def bench_adapted_vs_plain_greedy_cost(benchmark):
-    """Greedy PRBP cost on the adapted construction is at least that of the plain one."""
-
-    def run():
-        plain = demo_theorem71_instance(adapted=False)
-        adapted = demo_theorem71_instance(adapted=True)
-        r = max(plain.dag.max_in_degree, adapted.dag.max_in_degree) + 1
-        return (
-            topological_prbp_schedule(plain.dag, r).cost(),
-            topological_prbp_schedule(adapted.dag, r).cost(),
-        )
-
-    plain_cost, adapted_cost = benchmark(run)
-    assert adapted_cost >= plain_cost
-
-
-def bench_levels_table(benchmark):
-    """Size growth of the adaptation for a family of tower profiles."""
-
-    def build():
-        rows = []
-        cross = [CrossEdge(src=LevelRef(0, 0), dst=LevelRef(1, 1))]
-        for sizes in [(4, 3, 2), (6, 6, 3, 2), (8, 5, 5, 2, 2)]:
-            specs = [TowerSpec(level_sizes=sizes), TowerSpec(level_sizes=sizes[:2])]
-            plain = build_towers_dag(specs, cross, adapted=False)
-            adapted = build_towers_dag(specs, cross, adapted=True)
-            rows.append(["-".join(map(str, sizes)), plain.dag.n, adapted.dag.n, adapted.dag.m])
-        return rows
-
-    rows = build()
-    benchmark(build)
-    print()
-    print(
-        format_table(
-            ["tower profile", "plain nodes", "adapted nodes", "adapted edges"],
-            rows,
-            title="Theorem 7.1 — auxiliary-level adaptation of the level gadgets",
-        )
-    )
-    for _, plain_n, adapted_n, _ in rows:
-        assert plain_n < adapted_n < 12 * plain_n
+bench_scenario = make_group_bench(GROUP, extra=_extra)

@@ -1,0 +1,37 @@
+"""Shared pytest plumbing for the ``benchmarks/`` suite.
+
+The files here use ``bench_*`` naming (enabled via ``python_files`` /
+``python_functions`` in ``pyproject.toml``), parametrize over the
+:mod:`repro.bench` scenario registry, and measure through the
+``pytest-benchmark`` fixture when the plugin is installed.  Without the
+plugin the fixture below degrades to a single un-timed call, so
+``python -m pytest benchmarks/`` stays runnable in minimal environments.
+"""
+
+import pytest
+
+try:
+    import pytest_benchmark  # noqa: F401
+
+    HAVE_PYTEST_BENCHMARK = True
+except ImportError:  # pragma: no cover — CI installs the plugin
+    HAVE_PYTEST_BENCHMARK = False
+
+
+if not HAVE_PYTEST_BENCHMARK:
+
+    @pytest.fixture
+    def benchmark():
+        """Single-call stand-in for the pytest-benchmark fixture."""
+
+        def _benchmark(fn, *args, **kwargs):
+            return fn(*args, **kwargs)
+
+        def _pedantic(fn, args=(), kwargs=None, rounds=1, iterations=1, warmup_rounds=0):
+            result = None
+            for _ in range(max(1, rounds)):
+                result = fn(*args, **(kwargs or {}))
+            return result
+
+        _benchmark.pedantic = _pedantic
+        return _benchmark

@@ -7,7 +7,7 @@ GitHub-flavoured markdown) without pulling in any heavyweight dependency.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 __all__ = ["format_table", "format_markdown_table"]
 

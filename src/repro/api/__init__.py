@@ -36,7 +36,7 @@ from .registry import (
     solver_names,
     unregister_solver,
 )
-from .result import Schedule, SolveResult
+from .result import Schedule, SolveResult, SolveStats
 
 # importing the adapters registers every built-in solver
 from . import adapters as _adapters  # noqa: F401  (import for side effect)
@@ -45,6 +45,7 @@ __all__ = [
     "PebblingProblem",
     "GAMES",
     "SolveResult",
+    "SolveStats",
     "Schedule",
     "solve",
     "AUTO_EXACT_NODE_LIMIT",

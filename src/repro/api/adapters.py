@@ -20,7 +20,7 @@ family can never be answered with a schedule for a different graph.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 from ..core.dag import DAGFamily
 from ..core.exceptions import SolverError

@@ -33,13 +33,15 @@ whose message lists what was attempted and why each attempt failed.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Tuple
 
 from ..core.exceptions import SolverError
+from ..solvers.exhaustive import last_search_telemetry
 from .bounds import best_lower_bound
 from .problem import PebblingProblem
 from .registry import SolverInfo, get_solver, list_solvers
-from .result import Schedule, SolveResult
+from .result import Schedule, SolveResult, SolveStats
 
 __all__ = [
     "solve",
@@ -75,8 +77,14 @@ def _run(
     depends only on the problem, so callers compute it once per solve rather
     than once per portfolio attempt.
     """
+    telemetry_before = last_search_telemetry()
+    start = time.perf_counter()
     schedule: Schedule = info.fn(problem, **options)
     stats = schedule.stats()  # replays through the engine; raises on an illegal schedule
+    wall_time = time.perf_counter() - start
+    telemetry = last_search_telemetry()
+    if telemetry is telemetry_before:
+        telemetry = None  # this solver never entered the A* search
     return SolveResult(
         problem=problem,
         schedule=schedule,
@@ -85,6 +93,11 @@ def _run(
         exact_solver=info.exact,
         lower_bound=bound[0],
         lower_bound_source=bound[1],
+        solve_stats=SolveStats(
+            wall_time_s=wall_time,
+            states_expanded=telemetry.expanded if telemetry else None,
+            states_frontier_peak=telemetry.frontier_peak if telemetry else None,
+        ),
     )
 
 

@@ -18,7 +18,7 @@ dispatch layer is specific to the built-ins.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from ..core.exceptions import SolverError

@@ -15,10 +15,34 @@ from ..core.exceptions import PebblingError
 from ..core.strategy import PRBPSchedule, RBPSchedule, ScheduleStats
 from .problem import PebblingProblem
 
-__all__ = ["SolveResult", "Schedule"]
+__all__ = ["SolveResult", "SolveStats", "Schedule"]
 
 #: Either game's schedule type.
 Schedule = Union[RBPSchedule, PRBPSchedule]
+
+
+@dataclass(frozen=True)
+class SolveStats:
+    """Execution statistics of the solver run that produced a result.
+
+    Attributes
+    ----------
+    wall_time_s:
+        Wall-clock seconds spent inside the winning solver, including the
+        validation replay of its schedule.  For ``solver="auto"`` this covers
+        only the portfolio member whose schedule was returned, not the
+        attempts that failed before it.
+    states_expanded:
+        Number of configurations the exhaustive A* search expanded, when the
+        winning solver was the exhaustive one; ``None`` for solvers that do
+        not search (greedy, structured strategies).
+    states_frontier_peak:
+        Peak size of the A* open list, under the same conditions.
+    """
+
+    wall_time_s: float
+    states_expanded: Optional[int] = None
+    states_frontier_peak: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -47,6 +71,10 @@ class SolveResult:
     lower_bound_source:
         Which bound supplied ``lower_bound`` (``"trivial"``, ``"thm6.9"``,
         ...); empty when ``lower_bound`` is None.
+    solve_stats:
+        Execution statistics of the winning solver run (wall time and, for
+        exhaustive search, the expanded-state counters); ``None`` for results
+        assembled outside :func:`repro.api.solve`.
     """
 
     problem: PebblingProblem
@@ -56,6 +84,7 @@ class SolveResult:
     exact_solver: bool
     lower_bound: Optional[int] = None
     lower_bound_source: str = ""
+    solve_stats: Optional[SolveStats] = None
 
     @property
     def cost(self) -> int:

@@ -1,0 +1,203 @@
+"""``python -m repro.bench`` — run the benchmark suite and gate on baselines.
+
+Exit codes:
+
+* ``0`` — every selected scenario ran and met its expectations (and, with
+  ``--compare``, no regression against the baseline);
+* ``1`` — at least one scenario errored or missed its expected cost;
+* ``2`` — the baseline comparison found a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..analysis.reporting import format_table
+from .compare import DEFAULT_THRESHOLD, compare_reports
+from .report import build_report, load_report, report_records, write_report
+from .runner import ScenarioRecord, run_suite
+from .scenario import iter_scenarios, scenario_groups
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the repro-prbp benchmark scenarios and gate on regressions.",
+    )
+    tier = parser.add_mutually_exclusive_group()
+    tier.add_argument(
+        "--quick",
+        dest="tier",
+        action="store_const",
+        const="quick",
+        help="run the quick (CI smoke) size tier [default]",
+    )
+    tier.add_argument(
+        "--full",
+        dest="tier",
+        action="store_const",
+        const="full",
+        help="run the full (perf tracking) size tier",
+    )
+    parser.set_defaults(tier="quick")
+    parser.add_argument(
+        "--group",
+        action="append",
+        metavar="GROUP",
+        help="only run scenarios of this paper anchor (repeatable; see --list)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="only run this scenario (repeatable; see --list)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        metavar="N",
+        help="timed solve() calls per scenario; the minimum wall time is recorded",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the BENCH json report to PATH",
+    )
+    parser.add_argument(
+        "--input",
+        metavar="PATH",
+        help="load an existing BENCH json instead of running (for --compare)",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        help="compare the run (or --input report) against a baseline BENCH json",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        metavar="X",
+        help=f"wall-time regression ratio for --compare [default: {DEFAULT_THRESHOLD}]",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered scenarios (with groups and tier sizes) and exit",
+    )
+    return parser
+
+
+def _list_scenarios() -> None:
+    rows = []
+    for scenario in iter_scenarios():
+        quick, full = scenario.tier("quick"), scenario.tier("full")
+        rows.append(
+            [
+                scenario.group,
+                scenario.name,
+                scenario.game,
+                scenario.solver,
+                str(quick.dag_args),
+                str(full.dag_args),
+            ]
+        )
+    print(
+        format_table(
+            ["group", "scenario", "game", "solver", "quick args", "full args"],
+            rows,
+            title=f"registered scenarios ({len(rows)}) — groups: {', '.join(scenario_groups())}",
+        )
+    )
+
+
+def _print_records(records: List[ScenarioRecord]) -> None:
+    rows = []
+    for rec in records:
+        if rec.error is not None:
+            rows.append([rec.scenario, rec.tier, rec.solver_used or "-", "-", "-", "-", "-", "ERROR"])
+            continue
+        status = "ok" if rec.ok else "EXPECTATION FAILED"
+        rows.append(
+            [
+                rec.scenario,
+                rec.tier,
+                rec.solver_used,
+                f"{rec.wall_time_s:.4f}s",
+                rec.io_cost,
+                rec.lower_bound if rec.lower_bound is not None else "-",
+                rec.gap if rec.gap is not None else "-",
+                status,
+            ]
+        )
+    print(
+        format_table(
+            ["scenario", "tier", "solver", "wall time", "I/O cost", "lower bound", "gap", "status"],
+            rows,
+        )
+    )
+    for rec in records:
+        if rec.error is not None:
+            print(f"ERROR {rec.scenario}: {rec.error}", file=sys.stderr)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        _list_scenarios()
+        return 0
+
+    if args.input is not None:
+        current_doc = load_report(args.input)
+        records: List[ScenarioRecord] = []
+        healthy = all(
+            rec.get("error") is None and rec.get("expected_ok") is not False
+            for rec in report_records(current_doc)
+        )
+        print(
+            f"loaded {len(report_records(current_doc))} scenario records "
+            f"from {args.input} (tier: {current_doc.get('tier')})"
+        )
+    else:
+        records = run_suite(
+            tier=args.tier,
+            groups=args.group,
+            names=args.scenario,
+            repeats=args.repeats,
+        )
+        if not records:
+            print("no scenarios matched the given filters", file=sys.stderr)
+            return 1
+        _print_records(records)
+        current_doc = build_report(records, tier=args.tier, repeats=args.repeats)
+        healthy = all(rec.ok for rec in records)
+        summary = current_doc["summary"]
+        print(
+            f"\n{summary['scenarios']} scenarios, {summary['failures']} failures, "
+            f"total solve time {summary['total_wall_time_s']:.2f}s"
+        )
+
+    if args.output is not None:
+        write_report(current_doc, args.output)
+        print(f"wrote {args.output}")
+
+    if args.compare is not None:
+        baseline_doc = load_report(args.compare)
+        comparison = compare_reports(current_doc, baseline_doc, threshold=args.threshold)
+        print()
+        print(comparison.describe())
+        if not comparison.ok:
+            return 2
+
+    return 0 if healthy else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,196 @@
+"""Drive registry scenarios through :func:`repro.api.solve` and record results.
+
+The runner is the single measurement path of the bench subsystem: the CLI
+(``python -m repro.bench``), the CI smoke job and the pytest-benchmark
+wrappers under ``benchmarks/`` all call :func:`run_scenario`, so every
+consumer sees the same numbers for the same workload.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from ..api import solve
+from .scenario import BenchScenario, get_scenario, iter_scenarios
+
+__all__ = ["ScenarioRecord", "run_scenario", "run_suite"]
+
+
+@dataclass(frozen=True)
+class ScenarioRecord:
+    """One scenario run, flattened into the fields the BENCH json carries.
+
+    ``wall_time_s`` is the minimum over ``repeats`` timed ``solve()`` calls
+    (the DAG is built once, outside the timed region).  ``expected_ok`` is
+    ``None`` when the scenario declares no expectation, else whether the
+    achieved cost matched the closed form (and, for ``expect_optimal``
+    scenarios, whether optimality was proven).  A record with ``error`` set
+    carries ``None`` in every measurement field.
+    """
+
+    scenario: str
+    group: str
+    tier: str
+    game: str
+    variant: str
+    solver_requested: str
+    reference: str
+    n: Optional[int] = None
+    m: Optional[int] = None
+    r: Optional[int] = None
+    wall_time_s: Optional[float] = None
+    io_cost: Optional[int] = None
+    lower_bound: Optional[int] = None
+    lower_bound_source: str = ""
+    gap: Optional[int] = None
+    optimal: Optional[bool] = None
+    solver_used: Optional[str] = None
+    expected_cost: Optional[int] = None
+    expected_ok: Optional[bool] = None
+    states_expanded: Optional[int] = None
+    states_frontier_peak: Optional[int] = None
+    peak_red: Optional[int] = None
+    moves: Optional[int] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True iff the run finished and met every declared expectation."""
+        return self.error is None and self.expected_ok is not False
+
+    def to_dict(self) -> Dict[str, object]:
+        """The record as the plain dict stored in the BENCH json."""
+        return {
+            "scenario": self.scenario,
+            "group": self.group,
+            "tier": self.tier,
+            "game": self.game,
+            "variant": self.variant,
+            "solver_requested": self.solver_requested,
+            "solver_used": self.solver_used,
+            "reference": self.reference,
+            "n": self.n,
+            "m": self.m,
+            "r": self.r,
+            "wall_time_s": self.wall_time_s,
+            "io_cost": self.io_cost,
+            "lower_bound": self.lower_bound,
+            "lower_bound_source": self.lower_bound_source,
+            "gap": self.gap,
+            "optimal": self.optimal,
+            "expected_cost": self.expected_cost,
+            "expected_ok": self.expected_ok,
+            "states_expanded": self.states_expanded,
+            "states_frontier_peak": self.states_frontier_peak,
+            "peak_red": self.peak_red,
+            "moves": self.moves,
+            "error": self.error,
+        }
+
+
+def run_scenario(
+    scenario: Union[str, BenchScenario],
+    tier: str = "quick",
+    repeats: int = 1,
+) -> ScenarioRecord:
+    """Run one scenario at one tier and return its :class:`ScenarioRecord`.
+
+    Never raises for a failing *workload* — solver errors, infeasible
+    capacities and expectation mismatches are reported in the record, so a
+    broken scenario cannot take down the rest of a suite run.  Registry
+    misuse (an unknown scenario or tier name) still raises ``KeyError``.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    spec = scenario.tier(tier)  # raises KeyError on an unknown tier, by design
+    base = dict(
+        scenario=scenario.name,
+        group=scenario.group,
+        tier=tier,
+        game=scenario.game,
+        variant=scenario.variant.describe(),
+        solver_requested=scenario.solver,
+        reference=scenario.reference,
+        expected_cost=spec.expected_cost,
+    )
+    try:
+        problem = scenario.build_problem(tier)
+    except Exception as exc:  # noqa: BLE001 — a bad factory is a scenario error
+        return ScenarioRecord(error=f"building the problem failed: {exc}", **base)
+
+    best_time: Optional[float] = None
+    result = None
+    try:
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            result = solve(problem, solver=scenario.solver, **dict(scenario.solve_options))
+            elapsed = time.perf_counter() - start
+            if best_time is None or elapsed < best_time:
+                best_time = elapsed
+    except Exception as exc:  # noqa: BLE001 — solver failures become records too
+        return ScenarioRecord(
+            n=problem.n,
+            m=problem.dag.m,
+            r=problem.r,
+            error=f"solve() failed: {exc}",
+            **base,
+        )
+
+    expected_ok: Optional[bool] = None
+    if spec.expected_cost is not None:
+        expected_ok = result.cost == spec.expected_cost
+    if scenario.expect_optimal:
+        expected_ok = (expected_ok is not False) and result.optimal
+
+    solve_stats = result.solve_stats
+    return ScenarioRecord(
+        n=problem.n,
+        m=problem.dag.m,
+        r=problem.r,
+        wall_time_s=best_time,
+        io_cost=result.cost,
+        lower_bound=result.lower_bound,
+        lower_bound_source=result.lower_bound_source,
+        gap=result.gap,
+        optimal=result.optimal,
+        solver_used=result.solver,
+        expected_ok=expected_ok,
+        states_expanded=solve_stats.states_expanded if solve_stats else None,
+        states_frontier_peak=solve_stats.states_frontier_peak if solve_stats else None,
+        peak_red=result.stats.peak_red,
+        moves=result.stats.moves,
+        **base,
+    )
+
+
+def run_suite(
+    tier: str = "quick",
+    groups: Optional[Iterable[str]] = None,
+    names: Optional[Iterable[str]] = None,
+    repeats: int = 1,
+    progress: Optional[Callable[[ScenarioRecord], None]] = None,
+) -> List[ScenarioRecord]:
+    """Run every matching registry scenario and return the records in order.
+
+    ``names`` selects specific scenarios (validated eagerly so a typo fails
+    fast instead of silently shrinking the suite); ``groups`` filters by
+    paper anchor; both together intersect.  ``progress`` is invoked with
+    each finished record (the CLI uses it for live output).
+    """
+    if names is not None:
+        wanted = [get_scenario(name) for name in names]
+        group_filter = set(groups) if groups is not None else None
+        scenarios = [
+            s for s in wanted if group_filter is None or s.group in group_filter
+        ]
+    else:
+        scenarios = iter_scenarios(groups=groups)
+    records = []
+    for scenario in scenarios:
+        record = run_scenario(scenario, tier=tier, repeats=repeats)
+        if progress is not None:
+            progress(record)
+        records.append(record)
+    return records

@@ -21,7 +21,7 @@ max-flow (Menger's theorem), which is what the exact ``MIN_part`` /
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, Sequence, Set
 
 from ..core.dag import ComputationalDAG, Edge
 

@@ -26,7 +26,6 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from ..core.dag import ComputationalDAG, Edge
 from ..core.exceptions import SolverError
 from .dominators import (
-    edge_start_set,
     edge_terminal_set,
     minimum_dominator_size,
     minimum_edge_dominator_size,

@@ -28,13 +28,12 @@ always verify — which is exactly the content of the lemmas.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Set
 
 from ..core.dag import ComputationalDAG, Edge
 from ..core.exceptions import PartitionError
 from ..core.moves import MoveKind
-from ..core.pebbles import PRBPState
 from ..core.prbp import PRBPGame
 from ..core.rbp import RBPGame
 from ..core.strategy import PRBPSchedule, RBPSchedule

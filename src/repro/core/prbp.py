@@ -33,7 +33,7 @@ lives in :mod:`repro.core.conversion`.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence
 
 from .dag import ComputationalDAG
 from .exceptions import CapacityExceededError, IllegalMoveError, IncompletePebblingError

@@ -10,7 +10,7 @@ formula taken on faith.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from .dag import ComputationalDAG

@@ -22,7 +22,7 @@ needs the part described above, which is the default.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..core.dag import ComputationalDAG, DAGFamily, Edge
 

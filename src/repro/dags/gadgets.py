@@ -18,7 +18,7 @@ node numbering as the DAG builder — a single source of truth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..core.dag import ComputationalDAG, DAGFamily, Edge

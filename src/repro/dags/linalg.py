@@ -17,7 +17,7 @@ size ``m1 × m2`` and ``B`` of size ``m2 × m3`` has ``m1·m2 + m2·m3`` sources
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..core.dag import ComputationalDAG, DAGFamily, Edge
 

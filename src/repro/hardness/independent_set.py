@@ -21,7 +21,7 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, FrozenSet, Iterable, Optional, Set, Tuple
 
 __all__ = [
     "UndirectedGraph",

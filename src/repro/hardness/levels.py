@@ -34,8 +34,8 @@ profiles and cross-tower precedence constraints as input.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from ..core.dag import ComputationalDAG, Edge
 

@@ -11,7 +11,6 @@ PRBP, ``r = Δ_in + 1`` in RBP) and their cost is essentially ``2·|E|``.
 
 from __future__ import annotations
 
-from typing import List
 
 from ..core.dag import ComputationalDAG
 from ..core.exceptions import SolverError

@@ -42,6 +42,8 @@ costs re-expansions, never optimality.
 from __future__ import annotations
 
 import heapq
+import threading
+from dataclasses import dataclass
 from itertools import count
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -58,10 +60,41 @@ __all__ = [
     "optimal_prbp_schedule",
     "optimal_prbp_cost",
     "DEFAULT_MAX_STATES",
+    "SearchTelemetry",
+    "last_search_telemetry",
 ]
 
 #: Default cap on the number of distinct configurations the solvers may expand.
 DEFAULT_MAX_STATES = 2_000_000
+
+
+@dataclass(frozen=True)
+class SearchTelemetry:
+    """Counters of the most recent A* run (successful or aborted).
+
+    ``run_id`` increases with every search, so callers that wrap a solver
+    invocation can tell whether the search actually ran in between (the
+    greedy and structured solvers never touch it).
+    """
+
+    run_id: int
+    expanded: int
+    frontier_peak: int
+    completed: bool
+
+
+# Telemetry is published per thread: a concurrent solve() in another thread
+# must never see (and misattribute) this thread's search counters.
+_telemetry_store = threading.local()
+_run_ids = count(1)
+
+
+def last_search_telemetry() -> Optional[SearchTelemetry]:
+    """Counters of the calling thread's most recent exhaustive search.
+
+    ``None`` before any search ran on this thread.
+    """
+    return getattr(_telemetry_store, "last", None)
 
 
 def _popcount(x: int) -> int:
@@ -401,32 +434,54 @@ class _PRBPSearch:
 
 
 def _astar(search, max_states: int):
-    """Generic A* driver shared by the RBP and PRBP searches."""
+    """Generic A* driver shared by the RBP and PRBP searches.
+
+    Telemetry (expanded states, frontier peak) is published through
+    :func:`last_search_telemetry` whether the search succeeds, runs out of
+    budget, or exhausts the space — the counters are part of the cost model
+    the benchmark suite tracks, not just a success statistic.
+    """
+    run_id = next(_run_ids)
     start = search.initial()
     dist: Dict = {start: 0.0}
     parent: Dict = {start: None}
     tie = count()
     heap = [(search.heuristic(start), 0.0, next(tie), start)]
     expanded = 0
-    while heap:
-        f, g, _, state = heapq.heappop(heap)
-        if g > dist.get(state, float("inf")):
-            continue
-        if search.is_goal(state):
-            return g, state, parent
-        expanded += 1
-        if expanded > max_states:
-            raise SolverError(
-                f"exhaustive search exceeded the state budget of {max_states} expanded states; "
-                "the instance is too large for an exact solution"
-            )
-        for new_state, cost, moves in search.successors(state):
-            ng = g + cost
-            if ng < dist.get(new_state, float("inf")) - 1e-12:
-                dist[new_state] = ng
-                parent[new_state] = (state, moves)
-                heapq.heappush(heap, (ng + search.heuristic(new_state), ng, next(tie), new_state))
-    raise SolverError("the search space was exhausted without reaching a terminal configuration")
+    frontier_peak = 1
+    completed = False
+    try:
+        while heap:
+            f, g, _, state = heapq.heappop(heap)
+            if g > dist.get(state, float("inf")):
+                continue
+            if search.is_goal(state):
+                completed = True
+                return g, state, parent
+            expanded += 1
+            if expanded > max_states:
+                raise SolverError(
+                    f"exhaustive search exceeded the state budget of {max_states} expanded states; "
+                    "the instance is too large for an exact solution"
+                )
+            for new_state, cost, moves in search.successors(state):
+                ng = g + cost
+                if ng < dist.get(new_state, float("inf")) - 1e-12:
+                    dist[new_state] = ng
+                    parent[new_state] = (state, moves)
+                    heapq.heappush(
+                        heap, (ng + search.heuristic(new_state), ng, next(tie), new_state)
+                    )
+            if len(heap) > frontier_peak:
+                frontier_peak = len(heap)
+        raise SolverError("the search space was exhausted without reaching a terminal configuration")
+    finally:
+        _telemetry_store.last = SearchTelemetry(
+            run_id=run_id,
+            expanded=expanded,
+            frontier_peak=frontier_peak,
+            completed=completed,
+        )
 
 
 def _reconstruct(parent: Dict, goal) -> List:

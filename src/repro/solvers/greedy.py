@@ -20,7 +20,7 @@ otherwise save-and-drop the pebble whose next use is furthest in the future
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ..core.dag import ComputationalDAG
 from ..core.exceptions import SolverError

@@ -28,13 +28,11 @@ strategy                                    paper reference / achieved cost
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
-from ..core.dag import ComputationalDAG
 from ..core.exceptions import SolverError
 from ..core.moves import MoveKind, PRBPMove, RBPMove
 from ..core.strategy import PRBPSchedule, RBPSchedule
-from ..core.variants import ONE_SHOT, GameVariant
 from ..dags.attention import AttentionInstance, attention_instance
 from ..dags.fanin import FanInGroupsInstance, fanin_groups_instance
 from ..dags.fft import FFTInstance, fft_instance

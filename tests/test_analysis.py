@@ -1,6 +1,5 @@
 """Tests for the analysis helpers (comparison harness, sweeps, reporting)."""
 
-import pytest
 
 from repro.analysis.comparison import ModelComparison, compare_models
 from repro.analysis.reporting import format_markdown_table, format_table

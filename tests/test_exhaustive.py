@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.dag import ComputationalDAG
 from repro.core.exceptions import SolverError
 from repro.core.variants import GameVariant, NO_DELETE, RECOMPUTE, SLIDING
 from repro.dags import (

@@ -8,7 +8,6 @@ from repro.hardness.independent_set import (
     independence_number,
     max_clique_via_vertex_oracle,
     maxclique_vertex,
-    maximum_clique,
     maximum_independent_set,
     maxinset_vertex,
 )

@@ -5,7 +5,6 @@ exhaustive solvers stay fast and the greedy solvers always have a feasible
 capacity to work with.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.bounds.partitions import (
