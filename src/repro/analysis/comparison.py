@@ -13,11 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..api.dispatch import AUTO_EXACT_NODE_LIMIT, solve
+from ..api.batch import solve_many
+from ..api.cache import ResultCache
+from ..api.dispatch import AUTO_EXACT_NODE_LIMIT
 from ..api.problem import PebblingProblem
 from ..api.result import SolveResult
 from ..core.dag import ComputationalDAG
-from ..core.exceptions import SolverError
 from ..core.variants import ONE_SHOT, GameVariant
 
 __all__ = ["ModelComparison", "compare_models", "EXACT_NODE_LIMIT"]
@@ -91,24 +92,32 @@ def compare_models(
     variant: GameVariant = ONE_SHOT,
     exact_node_limit: int = EXACT_NODE_LIMIT,
     max_states: int = 500_000,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> ModelComparison:
     """Compare RBP and PRBP costs on ``dag`` with capacity ``r``.
 
-    Both games are dispatched through ``solve(..., solver="auto")``:
-    exhaustive optima below ``exact_node_limit`` nodes (within the
-    ``max_states`` search budget), the family-matched structured strategy
-    when the DAG carries a family tag, and the greedy upper-bound fallback
-    otherwise.  A game with no valid pebbling at all (e.g. RBP with
-    ``r < Δ_in + 1``) is reported as ``None``.
+    Both games are posed as one batch through :func:`repro.api.solve_many`
+    with the ``"auto"`` portfolio: exhaustive optima below
+    ``exact_node_limit`` nodes (within the ``max_states`` search budget), the
+    family-matched structured strategy when the DAG carries a family tag, and
+    the greedy upper-bound fallback otherwise.  ``jobs=2`` solves the two
+    games in parallel worker processes and ``cache`` reuses previously solved
+    sides; either way the costs are identical to the serial defaults.  A game
+    with no valid pebbling at all (e.g. RBP with ``r < Δ_in + 1``) is
+    reported as ``None``.
     """
-
-    def attempt(game: str) -> Optional[SolveResult]:
-        problem = PebblingProblem(dag, r, game=game, variant=variant)
-        try:
-            return solve(
-                problem, solver="auto", budget=max_states, exact_node_limit=exact_node_limit
-            )
-        except SolverError:
-            return None
-
-    return ModelComparison.from_results(dag, r, attempt("rbp"), attempt("prbp"))
+    problems = [PebblingProblem(dag, r, game=game, variant=variant) for game in ("rbp", "prbp")]
+    outcomes = solve_many(
+        problems,
+        solver="auto",
+        budget=max_states,
+        exact_node_limit=exact_node_limit,
+        jobs=jobs,
+        cache=cache,
+        return_exceptions=True,
+    )
+    rbp_result, prbp_result = (
+        outcome if isinstance(outcome, SolveResult) else None for outcome in outcomes
+    )
+    return ModelComparison.from_results(dag, r, rbp_result, prbp_result)

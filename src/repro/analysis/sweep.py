@@ -15,9 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..api.dispatch import solve
+from ..api.batch import solve_many
+from ..api.cache import ResultCache
 from ..api.problem import PebblingProblem
-from ..core.exceptions import SolverError
+from ..api.result import SolveResult
 from .reporting import format_table
 
 __all__ = ["SweepResult", "run_sweep", "run_solver_sweep"]
@@ -73,32 +74,47 @@ def run_solver_sweep(
     problem_fn: Callable[..., PebblingProblem],
     solver: str = "auto",
     budget: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
     **solve_options: object,
 ) -> SweepResult:
-    """Sweep :func:`repro.api.solve` over a parameter grid.
+    """Sweep :func:`repro.api.solve_many` over a parameter grid.
 
     ``problem_fn`` receives each parameter tuple unpacked and returns the
     :class:`PebblingProblem` to solve; the collected metrics per row are
     ``cost``, ``solver`` (the portfolio member that won), ``optimal``,
     ``lower_bound`` and ``peak_red``.  A parameter point with no valid
     pebbling records ``None`` for every metric instead of aborting the sweep.
+
+    The whole grid is posed as one batch, so ``jobs`` spreads it over worker
+    processes and ``cache`` lets repeated sweeps (or overlapping grids) skip
+    re-solving — rows come back identical to the serial defaults either way.
     """
     metric_names = ("cost", "solver", "optimal", "lower_bound", "peak_red")
     result = SweepResult(
         parameter_names=tuple(parameter_names), metric_names=metric_names
     )
-    for params in parameter_values:
-        problem = problem_fn(*params)
-        try:
-            res = solve(problem, solver=solver, budget=budget, **solve_options)
+    params_list = [tuple(params) for params in parameter_values]
+    problems = [problem_fn(*params) for params in params_list]
+    outcomes = solve_many(
+        problems,
+        solver=solver,
+        budget=budget,
+        jobs=jobs,
+        cache=cache,
+        return_exceptions=True,
+        **solve_options,
+    )
+    for params, outcome in zip(params_list, outcomes):
+        if isinstance(outcome, SolveResult):
             row: Dict[str, object] = {
-                "cost": res.cost,
-                "solver": res.solver,
-                "optimal": res.optimal,
-                "lower_bound": res.lower_bound,
-                "peak_red": res.stats.peak_red,
+                "cost": outcome.cost,
+                "solver": outcome.solver,
+                "optimal": outcome.optimal,
+                "lower_bound": outcome.lower_bound,
+                "peak_red": outcome.stats.peak_red,
             }
-        except SolverError:
+        else:
             row = {name: None for name in metric_names}
-        result.rows.append((tuple(params), row))
+        result.rows.append((params, row))
     return result

@@ -19,7 +19,14 @@ budget, a family-matched structured strategy when the DAG carries a
 :class:`~repro.core.dag.DAGFamily` tag, greedy otherwise.
 """
 
+from .batch import BatchInfo, solve_many, solve_many_detailed
 from .bounds import best_lower_bound
+from .cache import (
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+    problem_digest,
+)
 from .dispatch import (
     AUTO_EXACT_NODE_LIMIT,
     DEFAULT_AUTO_BUDGET,
@@ -48,6 +55,13 @@ __all__ = [
     "SolveStats",
     "Schedule",
     "solve",
+    "solve_many",
+    "solve_many_detailed",
+    "BatchInfo",
+    "ResultCache",
+    "CacheStats",
+    "problem_digest",
+    "default_cache_dir",
     "AUTO_EXACT_NODE_LIMIT",
     "DEFAULT_AUTO_BUDGET",
     "GREEDY_COMPARISON_NODE_LIMIT",

@@ -1,0 +1,284 @@
+"""Content-addressed result cache for solved pebbling problems.
+
+:class:`ResultCache` stores validated :class:`~repro.api.result.SolveResult`
+objects keyed by :func:`problem_digest` — a SHA-256 over everything that can
+influence a ``solve()`` call: the DAG's exact content (numbering, edge
+order, labels — which determines its canonical form, see
+:mod:`repro.core.canonical`), the family tag, capacity, game, variant, the
+requested solver and its options, and a cache format version.  Two calls
+with equal digests are therefore guaranteed to produce identical results,
+which is what lets :func:`repro.api.solve_many` return cached entries in
+place of fresh solves without weakening its serial-equivalence contract.
+
+Entries live in a bounded in-memory LRU and, when a directory is configured,
+on disk as ``<dir>/<digest[:2]>/<digest>.pkl``.  Disk entries are written
+atomically and carry a payload checksum; on read the checksum is verified,
+the pickle is loaded defensively, the stored problem is compared against the
+requested one, and (by default) the schedule is replayed through the engine.
+Anything that fails — truncation, bit flips, stale pickles from another
+library version, digest collisions — counts as *corrupt*: the entry is
+deleted and the caller falls back to recomputation.  A cache can slow a run
+down, but it can never change an answer.
+
+Invalidation: digests include :data:`CACHE_FORMAT_VERSION` and the installed
+``repro-prbp`` version, so upgrading either abandons old entries in place
+(delete the directory to reclaim the space).  Point ``REPRO_CACHE_DIR`` at a
+different location to redirect :func:`default_cache_dir`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from ..core.canonical import dag_digest
+from .problem import PebblingProblem
+from .result import SolveResult
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "ResultCache",
+    "default_cache_dir",
+    "problem_digest",
+]
+
+#: Bumped whenever the digest inputs or the on-disk layout change shape.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable overriding :func:`default_cache_dir`.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+@lru_cache(maxsize=1)
+def _library_version() -> str:
+    # memoized: importlib.metadata scans installed distributions on disk,
+    # and problem_digest calls this once per problem per batch
+    try:
+        from importlib.metadata import version
+
+        return version("repro-prbp")
+    except Exception:
+        return "unknown"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-prbp``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-prbp"
+
+
+def problem_digest(
+    problem: PebblingProblem,
+    solver: str = "auto",
+    options: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Hex SHA-256 identifying one ``solve(problem, solver, **options)`` call.
+
+    Everything observable by a solver goes in: the exact DAG digest (via
+    :func:`repro.core.canonical.dag_digest`), the family tag, the
+    capacity/game/variant triple, the requested solver name, the options with
+    keys sorted, and the cache format + library versions.  Option values are
+    hashed through ``repr`` — solver options are plain scalars today, and a
+    custom option type only risks a spurious miss, never a false hit, as long
+    as its ``repr`` reflects its value.
+    """
+    fam = problem.dag.family
+    h = hashlib.sha256()
+    h.update(
+        repr(
+            (
+                CACHE_FORMAT_VERSION,
+                _library_version(),
+                dag_digest(problem.dag),
+                None if fam is None else (fam.name, fam.params),
+                problem.r,
+                problem.game,
+                problem.variant,
+                solver,
+                tuple(sorted((options or {}).items(), key=lambda kv: kv[0])),
+            )
+        ).encode()
+    )
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Mutable counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+    io_errors: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+            "io_errors": self.io_errors,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Two-level (memory LRU + optional disk) cache of solve results.
+
+    Parameters
+    ----------
+    directory:
+        Root of the on-disk store; ``None`` keeps the cache memory-only.
+        Created on first write.
+    max_memory_entries:
+        Bound on the in-memory LRU (oldest entries are evicted first).
+    validate:
+        When True (default), a disk entry's schedule is replayed through the
+        game engine before being served and its cost is compared against the
+        stored one — the same "never trust, always replay" policy the rest of
+        the library follows.  Memory entries are served as stored; they never
+        left the process.
+    """
+
+    directory: Optional[Union[str, Path]] = None
+    max_memory_entries: int = 1024
+    validate: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.directory is not None:
+            # expanduser so the documented ResultCache(directory="~/.cache/...")
+            # reaches the home cache instead of creating a literal "~" dir
+            self.directory = Path(self.directory).expanduser()
+        self._memory: "OrderedDict[str, SolveResult]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+
+    def get(self, problem: PebblingProblem, digest: str) -> Optional[SolveResult]:
+        """The cached result for ``digest``, or ``None`` (counted as a miss).
+
+        ``problem`` is the instance the caller is about to solve; it is
+        compared against the stored entry's problem so that even a SHA-256
+        collision (or a forged file) cannot smuggle in a result for a
+        different instance.
+        """
+        cached = self._memory.get(digest)
+        if cached is not None:
+            self._memory.move_to_end(digest)
+            self.stats.hits += 1
+            return cached
+        if self.directory is not None:
+            cached = self._read_disk(problem, digest)
+            if cached is not None:
+                self._remember(digest, cached)
+                self.stats.hits += 1
+                return cached
+        self.stats.misses += 1
+        return None
+
+    def put(self, digest: str, result: SolveResult) -> None:
+        """Store a result under its digest (memory always, disk if configured)."""
+        self._remember(digest, result)
+        self.stats.stores += 1
+        if self.directory is None:
+            return
+        try:
+            path = self._path(digest)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = pickle.dumps(
+                {"digest": digest, "result": result}, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            checksum = hashlib.sha256(payload).hexdigest().encode("ascii")
+            fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".pkl")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(checksum + b"\n" + payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError):
+            self.stats.io_errors += 1  # a cache that cannot write is still a cache
+
+    def clear(self) -> None:
+        """Drop every memory entry and delete every disk entry."""
+        self._memory.clear()
+        if self.directory is None:
+            return
+        root = Path(self.directory)
+        if not root.exists():
+            return
+        for sub in root.iterdir():
+            if sub.is_dir() and len(sub.name) == 2:
+                for entry in sub.glob("*.pkl"):
+                    try:
+                        entry.unlink()
+                    except OSError:
+                        self.stats.io_errors += 1
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _path(self, digest: str) -> Path:
+        return Path(self.directory) / digest[:2] / f"{digest}.pkl"
+
+    def _remember(self, digest: str, result: SolveResult) -> None:
+        self._memory[digest] = result
+        self._memory.move_to_end(digest)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    def _discard_corrupt(self, path: Path) -> None:
+        self.stats.corrupt += 1
+        try:
+            path.unlink()
+        except OSError:
+            self.stats.io_errors += 1
+
+    def _read_disk(self, problem: PebblingProblem, digest: str) -> Optional[SolveResult]:
+        path = self._path(digest)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None  # plain miss: the entry does not exist (or is unreadable)
+        try:
+            checksum, payload = blob.split(b"\n", 1)
+            if hashlib.sha256(payload).hexdigest().encode("ascii") != checksum:
+                raise ValueError("payload checksum mismatch")
+            doc = pickle.loads(payload)
+            result = doc["result"]
+            if doc.get("digest") != digest or not isinstance(result, SolveResult):
+                raise ValueError("entry does not describe this digest")
+            if result.problem != problem:
+                raise ValueError("stored problem differs from the requested one")
+            if self.validate:
+                replayed = result.schedule.stats()  # raises on an illegal schedule
+                if replayed != result.stats:
+                    raise ValueError("replayed statistics differ from the stored ones")
+            return result
+        except Exception:
+            # Truncation, bit flips, stale pickles from an incompatible
+            # version, forged entries: all treated identically — drop the
+            # entry and let the caller recompute.
+            self._discard_corrupt(path)
+            return None

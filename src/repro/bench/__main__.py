@@ -15,6 +15,7 @@ import sys
 from typing import List, Optional
 
 from ..analysis.reporting import format_table
+from ..api import ResultCache, default_cache_dir
 from .compare import DEFAULT_THRESHOLD, compare_reports
 from .report import build_report, load_report, report_records, write_report
 from .runner import ScenarioRecord, run_suite
@@ -43,7 +44,30 @@ def _build_parser() -> argparse.ArgumentParser:
         const="full",
         help="run the full (perf tracking) size tier",
     )
+    tier.add_argument(
+        "--tier",
+        dest="tier",
+        choices=("quick", "full"),
+        help="select the size tier by name (same effect as --quick / --full)",
+    )
     parser.set_defaults(tier="quick")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="solve scenarios over N worker processes via solve_many [default: 1, serial]",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed result cache (hits are flagged in records)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="result cache directory [default: $REPRO_CACHE_DIR or ~/.cache/repro-prbp]",
+    )
     parser.add_argument(
         "--group",
         action="append",
@@ -93,6 +117,13 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _describe_tier(spec) -> str:
+    """Positional args plus any keyword args (seeds etc.) of a tier's factory call."""
+    parts = [repr(arg) for arg in spec.dag_args]
+    parts += [f"{key}={value!r}" for key, value in spec.dag_kwargs.items()]
+    return f"({', '.join(parts)})"
+
+
 def _list_scenarios() -> None:
     rows = []
     for scenario in iter_scenarios():
@@ -103,8 +134,8 @@ def _list_scenarios() -> None:
                 scenario.name,
                 scenario.game,
                 scenario.solver,
-                str(quick.dag_args),
-                str(full.dag_args),
+                _describe_tier(quick),
+                _describe_tier(full),
             ]
         )
     print(
@@ -166,22 +197,40 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"from {args.input} (tier: {current_doc.get('tier')})"
         )
     else:
+        cache = None
+        if not args.no_cache:
+            if args.compare is not None:
+                # A regression gate must measure *this* build: a cache hit
+                # would report the stored wall time of whatever run populated
+                # the entry and hide a fresh slowdown from the comparator.
+                print("note: --compare measures fresh solves; the result cache is disabled")
+            else:
+                cache = ResultCache(directory=args.cache_dir or default_cache_dir())
         records = run_suite(
             tier=args.tier,
             groups=args.group,
             names=args.scenario,
             repeats=args.repeats,
+            jobs=args.jobs,
+            cache=cache,
         )
         if not records:
             print("no scenarios matched the given filters", file=sys.stderr)
             return 1
         _print_records(records)
-        current_doc = build_report(records, tier=args.tier, repeats=args.repeats)
+        current_doc = build_report(
+            records, tier=args.tier, repeats=args.repeats, jobs=args.jobs, cache=cache
+        )
         healthy = all(rec.ok for rec in records)
         summary = current_doc["summary"]
+        cache_note = ""
+        if cache is not None:
+            stats = cache.stats
+            corrupt = f", {stats.corrupt} corrupt entries recomputed" if stats.corrupt else ""
+            cache_note = f" (cache: {stats.hits} hits, {stats.stores} stores{corrupt})"
         print(
             f"\n{summary['scenarios']} scenarios, {summary['failures']} failures, "
-            f"total solve time {summary['total_wall_time_s']:.2f}s"
+            f"total solve time {summary['total_wall_time_s']:.2f}s{cache_note}"
         )
 
     if args.output is not None:

@@ -58,10 +58,18 @@ def build_report(
     records: Sequence[ScenarioRecord],
     tier: str,
     repeats: int = 1,
+    jobs: int = 1,
+    cache: Optional[object] = None,
 ) -> Dict[str, object]:
-    """Assemble the full report document for a finished suite run."""
+    """Assemble the full report document for a finished suite run.
+
+    ``jobs`` and ``cache`` (a :class:`~repro.api.ResultCache`, or ``None``)
+    document *how* the numbers were produced; both are additive envelope
+    fields, so documents stay readable by schema-version-1 consumers.
+    """
     failures = [rec.scenario for rec in records if not rec.ok]
     total_time = sum(rec.wall_time_s or 0.0 for rec in records)
+    cache_hits = sum(1 for rec in records if rec.cache_hit)
     now = time.time()
     return {
         "schema": SCHEMA_NAME,
@@ -70,12 +78,15 @@ def build_report(
         "created_iso": time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime(now)),
         "tier": tier,
         "repeats": repeats,
+        "jobs": jobs,
+        "cache": None if cache is None else dict(cache.stats.as_dict(), enabled=True),
         "env": environment_metadata(),
         "summary": {
             "scenarios": len(records),
             "failures": len(failures),
             "failed_scenarios": failures,
             "optimal": sum(1 for rec in records if rec.optimal),
+            "cache_hits": cache_hits,
             "total_wall_time_s": total_time,
         },
         "scenarios": [rec.to_dict() for rec in records],

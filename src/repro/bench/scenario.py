@@ -47,6 +47,11 @@ class ScenarioTier:
     ----------
     dag_args:
         Positional arguments for the scenario's DAG factory.
+    dag_kwargs:
+        Keyword arguments for the DAG factory.  Randomised scenarios use
+        this to pass their ``seed`` explicitly by name, so a reader of the
+        registry (and the BENCH json's ``--list`` output) can see at a
+        glance which workloads are seeded and with what.
     r:
         Fast-memory capacity, either an int or a callable of the built DAG.
     expected_cost:
@@ -56,6 +61,7 @@ class ScenarioTier:
     """
 
     dag_args: Tuple = ()
+    dag_kwargs: Mapping[str, object] = field(default_factory=dict)
     r: CapacitySpec = 2
     expected_cost: Optional[int] = None
 
@@ -140,7 +146,7 @@ class BenchScenario:
     def build_problem(self, tier: str = "quick") -> PebblingProblem:
         """Materialise the tier into a concrete :class:`PebblingProblem`."""
         spec = self.tier(tier)
-        dag = self.dag_factory(*spec.dag_args)
+        dag = self.dag_factory(*spec.dag_args, **dict(spec.dag_kwargs))
         return PebblingProblem(dag, r=spec.capacity(dag), game=self.game, variant=self.variant)
 
 

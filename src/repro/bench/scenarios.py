@@ -352,8 +352,12 @@ def register_builtin_scenarios() -> None:
             dag_factory=_theorem48_dag,
             game="prbp",
             tiers={
-                "quick": ScenarioTier(dag_args=(3, 21, 0.02), r=_feasible_r),
-                "full": ScenarioTier(dag_args=(4, 28, 0.03), r=_feasible_r),
+                "quick": ScenarioTier(
+                    dag_args=(3,), dag_kwargs={"seed": 21, "chain_scale": 0.02}, r=_feasible_r
+                ),
+                "full": ScenarioTier(
+                    dag_args=(4,), dag_kwargs={"seed": 28, "chain_scale": 0.03}, r=_feasible_r
+                ),
             },
             reference="Thm. 4.8 construction (chain_scale keeps it polynomial-small)",
         )
@@ -514,8 +518,16 @@ def register_builtin_scenarios() -> None:
             dag_factory=random_layered_dag,
             game="prbp",
             tiers={
-                "quick": ScenarioTier(dag_args=((6, 8, 8, 6, 4), 0.2, 4, 0), r=6),
-                "full": ScenarioTier(dag_args=((20, 30, 30, 30, 20, 10), 0.2, 6, 0), r=8),
+                "quick": ScenarioTier(
+                    dag_args=((6, 8, 8, 6, 4),),
+                    dag_kwargs={"edge_probability": 0.2, "max_in_degree": 4, "seed": 0},
+                    r=6,
+                ),
+                "full": ScenarioTier(
+                    dag_args=((20, 30, 30, 30, 20, 10),),
+                    dag_kwargs={"edge_probability": 0.2, "max_in_degree": 6, "seed": 0},
+                    r=8,
+                ),
             },
             reference="Sec. 6 machinery over random layered DAGs",
         )
@@ -528,8 +540,16 @@ def register_builtin_scenarios() -> None:
             dag_factory=random_layered_dag,
             game="prbp",
             tiers={
-                "quick": ScenarioTier(dag_args=((6, 8, 8, 6, 4), 0.35, 4, 1), r=6),
-                "full": ScenarioTier(dag_args=((20, 30, 30, 30, 20, 10), 0.35, 6, 1), r=8),
+                "quick": ScenarioTier(
+                    dag_args=((6, 8, 8, 6, 4),),
+                    dag_kwargs={"edge_probability": 0.35, "max_in_degree": 4, "seed": 1},
+                    r=6,
+                ),
+                "full": ScenarioTier(
+                    dag_args=((20, 30, 30, 30, 20, 10),),
+                    dag_kwargs={"edge_probability": 0.35, "max_in_degree": 6, "seed": 1},
+                    r=8,
+                ),
             },
             reference="Sec. 6 machinery over random layered DAGs",
         )
@@ -542,8 +562,16 @@ def register_builtin_scenarios() -> None:
             dag_factory=random_layered_dag,
             game="prbp",
             tiers={
-                "quick": ScenarioTier(dag_args=((6, 8, 8, 6, 4), 0.5, 4, 2), r=6),
-                "full": ScenarioTier(dag_args=((20, 30, 30, 30, 20, 10), 0.5, 6, 2), r=8),
+                "quick": ScenarioTier(
+                    dag_args=((6, 8, 8, 6, 4),),
+                    dag_kwargs={"edge_probability": 0.5, "max_in_degree": 4, "seed": 2},
+                    r=6,
+                ),
+                "full": ScenarioTier(
+                    dag_args=((20, 30, 30, 30, 20, 10),),
+                    dag_kwargs={"edge_probability": 0.5, "max_in_degree": 6, "seed": 2},
+                    r=8,
+                ),
             },
             reference="Sec. 6 machinery over random layered DAGs",
         )
@@ -556,8 +584,16 @@ def register_builtin_scenarios() -> None:
             dag_factory=random_layered_dag,
             game="rbp",
             tiers={
-                "quick": ScenarioTier(dag_args=((6, 8, 8, 6, 4), 0.3, 4, 3), r=6),
-                "full": ScenarioTier(dag_args=((20, 30, 30, 30, 20, 10), 0.3, 6, 3), r=8),
+                "quick": ScenarioTier(
+                    dag_args=((6, 8, 8, 6, 4),),
+                    dag_kwargs={"edge_probability": 0.3, "max_in_degree": 4, "seed": 3},
+                    r=6,
+                ),
+                "full": ScenarioTier(
+                    dag_args=((20, 30, 30, 30, 20, 10),),
+                    dag_kwargs={"edge_probability": 0.3, "max_in_degree": 6, "seed": 3},
+                    r=8,
+                ),
             },
             reference="Prop. 4.1: OPT_RBP >= OPT_PRBP on every DAG",
         )

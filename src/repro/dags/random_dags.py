@@ -13,7 +13,12 @@ Two generators are provided:
 
 Both generators are deterministic given the ``seed`` argument (they use a
 private :class:`numpy.random.Generator`), so failing property-based tests
-can always be replayed.
+can always be replayed.  Callers that manage their own random state — a
+Hypothesis-driven test, a sweep drawing many DAGs from one stream — can
+instead pass an explicit ``rng``; the generator then consumes that stream
+and records ``seed=None`` in the family tag (the caller owns
+reproducibility).  Passing both is rejected, so a call site can never
+silently believe the seed it names.
 """
 
 from __future__ import annotations
@@ -27,11 +32,28 @@ from ..core.dag import ComputationalDAG, DAGFamily, Edge
 __all__ = ["random_layered_dag", "random_dag"]
 
 
+def _resolve_rng(
+    seed: Optional[int], rng: Optional[np.random.Generator]
+) -> np.random.Generator:
+    """The generator's random stream: the explicit ``rng``, or one seeded here."""
+    if rng is not None:
+        if seed is not None:
+            raise ValueError("pass either seed or rng, not both")
+        return rng
+    return np.random.default_rng(0 if seed is None else seed)
+
+
+def _seed_str(seed_tag: Optional[int]) -> str:
+    """The seed part of a generated DAG's name (``"ext"`` for a caller rng)."""
+    return "ext" if seed_tag is None else str(seed_tag)
+
+
 def random_layered_dag(
     layer_sizes: Sequence[int],
     edge_probability: float = 0.3,
     max_in_degree: Optional[int] = None,
-    seed: int = 0,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> ComputationalDAG:
     """Build a random layered DAG.
 
@@ -46,7 +68,12 @@ def random_layered_dag(
     max_in_degree:
         Optional cap on the in-degree of every node.
     seed:
-        Seed of the private random generator.
+        Seed of the private random generator (defaults to 0 when neither
+        ``seed`` nor ``rng`` is given).
+    rng:
+        An externally managed random stream used *instead* of seeding one
+        here; mutually exclusive with ``seed``.  The family tag then records
+        ``seed=None`` — reproducibility is the caller's responsibility.
     """
     if len(layer_sizes) < 2:
         raise ValueError("need at least two layers")
@@ -54,7 +81,8 @@ def random_layered_dag(
         raise ValueError("every layer must contain at least one node")
     if not (0.0 <= edge_probability <= 1.0):
         raise ValueError(f"edge_probability must be in [0, 1], got {edge_probability}")
-    rng = np.random.default_rng(seed)
+    seed_tag = (0 if seed is None else seed) if rng is None else None
+    rng = _resolve_rng(seed, rng)
     layers: List[List[int]] = []
     next_id = 0
     for size in layer_sizes:
@@ -117,31 +145,39 @@ def random_layered_dag(
     dag = ComputationalDAG(
         next_id,
         edges,
-        name=f"random-layered-{'x'.join(map(str, layer_sizes))}-s{seed}",
+        name=f"random-layered-{'x'.join(map(str, layer_sizes))}-s{_seed_str(seed_tag)}",
         family=DAGFamily.tag(
             "random_layered",
             layer_sizes=tuple(layer_sizes),
             edge_probability=edge_probability,
             max_in_degree=max_in_degree,
-            seed=seed,
+            seed=seed_tag,
         ),
     )
     dag.validate_no_isolated()
     return dag
 
 
-def random_dag(n: int, edge_probability: float = 0.2, seed: int = 0) -> ComputationalDAG:
+def random_dag(
+    n: int,
+    edge_probability: float = 0.2,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> ComputationalDAG:
     """Build a random DAG on ``n`` nodes over a random topological order.
 
     Every non-first node receives at least one in-edge from an earlier node
     so the DAG has no isolated nodes; additional forward edges are added
-    independently with probability ``edge_probability``.
+    independently with probability ``edge_probability``.  ``seed`` defaults
+    to 0; an externally managed ``rng`` may be passed instead (mutually
+    exclusive with ``seed``; the family tag then records ``seed=None``).
     """
     if n < 2:
         raise ValueError(f"need at least two nodes, got {n}")
     if not (0.0 <= edge_probability <= 1.0):
         raise ValueError(f"edge_probability must be in [0, 1], got {edge_probability}")
-    rng = np.random.default_rng(seed)
+    seed_tag = (0 if seed is None else seed) if rng is None else None
+    rng = _resolve_rng(seed, rng)
     order = list(rng.permutation(n))
     edges: List[Edge] = []
     edge_set = set()
@@ -160,8 +196,8 @@ def random_dag(n: int, edge_probability: float = 0.2, seed: int = 0) -> Computat
     dag = ComputationalDAG(
         n,
         edges,
-        name=f"random-n{n}-s{seed}",
-        family=DAGFamily.tag("random", n=n, edge_probability=edge_probability, seed=seed),
+        name=f"random-n{n}-s{_seed_str(seed_tag)}",
+        family=DAGFamily.tag("random", n=n, edge_probability=edge_probability, seed=seed_tag),
     )
     dag.validate_no_isolated()
     return dag

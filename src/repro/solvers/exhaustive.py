@@ -32,11 +32,35 @@ Moves are grouped into *macro moves* in a cost-preserving normal form:
   saves of values that are never needed again are never part of a minimal
   strategy and are not generated.
 
-The search is A* with the admissible (not necessarily consistent) heuristic
-"number of unsaved sinks plus number of sources that still have to be
-re-loaded"; both terms count distinct, unavoidable future I/O operations.
+The search is A* with an admissible (not necessarily consistent) heuristic
+combining two ingredients:
+
+* the per-state counting term "number of unsaved sinks plus number of
+  sources that still have to be re-loaded" — both count distinct,
+  unavoidable future I/O operations from the current configuration;
+* a *root lower bound* computed once per search from :mod:`repro.bounds`
+  (the trivial cost always; on small one-shot instances also the exact
+  Hong–Kung S-partition bound for RBP and the Theorem 6.5/6.7 S-edge /
+  S-dominator partition bounds for PRBP).  Any full schedule through a
+  state of cost ``g`` costs at least the root bound in total, so
+  ``max(h(state), bound - g)`` is admissible, which floors every f-value
+  at the bound.
+
 States are re-opened when a cheaper path is found, so inconsistency only
-costs re-expansions, never optimality.
+costs re-expansions, never optimality.  Two further prunes keep the
+expansion count down:
+
+* **f-tie breaking towards the goal** — among equal f-values the larger
+  g (deeper state) is popped first, so once the frontier reaches the
+  optimum plateau the search runs depth-first along it instead of
+  flooding the whole plateau breadth-first;
+* **dominance pruning** — a popped state whose freely-deletable red set
+  is a subset of an already-expanded state with the same irreversible
+  progress (blue/computed sets in RBP; marked edges, dark pebbles and
+  blue base in PRBP) at equal-or-lower g-cost is skipped: extra red
+  pebbles can always be deleted for free, so every completion of the
+  dominated state is matched, at equal or lower cost, through the
+  dominating one.
 """
 
 from __future__ import annotations
@@ -44,9 +68,15 @@ from __future__ import annotations
 import heapq
 import threading
 from dataclasses import dataclass
+from functools import lru_cache
 from itertools import count
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..bounds.hongkung import rbp_lower_bound_exact
+from ..bounds.prbp_bounds import (
+    prbp_dominator_lower_bound_exact,
+    prbp_edge_lower_bound_exact,
+)
 from ..core.dag import ComputationalDAG
 from ..core.exceptions import SolverError
 from ..core.moves import MoveKind, PRBPMove, RBPMove
@@ -60,12 +90,59 @@ __all__ = [
     "optimal_prbp_schedule",
     "optimal_prbp_cost",
     "DEFAULT_MAX_STATES",
+    "ROOT_BOUND_NODE_LIMIT",
+    "ROOT_BOUND_EDGE_LIMIT",
     "SearchTelemetry",
     "last_search_telemetry",
+    "root_lower_bound",
 ]
 
 #: Default cap on the number of distinct configurations the solvers may expand.
 DEFAULT_MAX_STATES = 2_000_000
+
+#: Exact node-partition root bounds are only computed below this node count —
+#: the downset-lattice search behind them is itself exponential, and on larger
+#: or capacity-rich instances its cost would dwarf the A* run it speeds up.
+ROOT_BOUND_NODE_LIMIT = 9
+
+#: Same guard for the PRBP S-edge partition bound, in edges.
+ROOT_BOUND_EDGE_LIMIT = 12
+
+
+@lru_cache(maxsize=512)
+def root_lower_bound(dag: ComputationalDAG, r: int, game: str, variant: GameVariant) -> int:
+    """A cheap lower bound on the total cost of any valid schedule.
+
+    Always includes the trivial cost (sources + sinks) when the DAG has no
+    isolated node; on small one-shot instances without the sliding rule it is
+    strengthened with the exact partition bounds of :mod:`repro.bounds`
+    (Hong–Kung for RBP, Theorems 6.5/6.7 for PRBP).  The partition searches
+    are skipped when ``2r >= n`` (a single class is always valid there, so
+    the bound degenerates to 0) and above the ``ROOT_BOUND_*`` size guards.
+
+    The result floors every f-value of the A* searches below; it is a bound
+    on *total* cost because I/O cost lower bounds remain valid when compute
+    steps add a non-negative ε on top.
+    """
+    if dag.n > 1 and any(dag.is_source(v) and dag.is_sink(v) for v in dag.nodes()):
+        return 0  # an isolated node needs no I/O at all; stay conservative
+    lb = dag.trivial_cost()
+    if not variant.one_shot or variant.allow_sliding:
+        # The partition bounds are proven for the one-shot game without
+        # sliding (a sliding schedule is not a valid standard schedule, so
+        # OPT_sliding may undercut them); the trivial cost still holds.
+        return lb
+    try:
+        if game == "rbp":
+            if dag.n <= ROOT_BOUND_NODE_LIMIT and 2 * r < dag.n:
+                lb = max(lb, rbp_lower_bound_exact(dag, r))
+        elif dag.n <= ROOT_BOUND_NODE_LIMIT and 2 * r < dag.n:
+            lb = max(lb, prbp_dominator_lower_bound_exact(dag, r))
+            if dag.m <= ROOT_BOUND_EDGE_LIMIT:
+                lb = max(lb, prbp_edge_lower_bound_exact(dag, r))
+    except SolverError:
+        pass  # partition machinery refused the instance; the trivial cost stands
+    return lb
 
 
 @dataclass(frozen=True)
@@ -81,6 +158,7 @@ class SearchTelemetry:
     expanded: int
     frontier_peak: int
     completed: bool
+    dominated_pruned: int = 0
 
 
 # Telemetry is published per thread: a concurrent solve() in another thread
@@ -117,12 +195,17 @@ def _bits(x: int) -> Iterator[int]:
 class _RBPSearch:
     """A* search for the optimal RBP pebbling of a small DAG."""
 
+    #: Heuristic value of a provably dead state (a still-needed value was
+    #: irrecoverably lost); far above any reachable f, so never expanded.
+    DEAD_STATE_H = 1 << 30
+
     def __init__(self, dag: ComputationalDAG, r: int, variant: GameVariant, max_states: int):
         self.dag = dag
         self.r = r
         self.variant = variant
         self.max_states = max_states
         self.n = dag.n
+        self.full_mask = (1 << dag.n) - 1
         self.source_mask = sum(1 << v for v in dag.sources)
         self.sink_mask = sum(1 << v for v in dag.sinks)
         self.pred_mask = [sum(1 << u for u in dag.predecessors(v)) for v in range(self.n)]
@@ -137,11 +220,22 @@ class _RBPSearch:
             raise SolverError(
                 f"no valid sliding-RBP pebbling exists: r = {r} < max in-degree = {dag.max_in_degree}"
             )
+        self.root_bound = root_lower_bound(dag, r, "rbp", variant)
 
     # state = (red, blue, computed) bitmask triple
 
     def initial(self) -> Tuple[int, int, int]:
         return (0, self.source_mask, 0)
+
+    def dominance(self, state: Tuple[int, int, int]) -> Optional[Tuple[Tuple[int, int], int]]:
+        """Dominance key/mask pair: states sharing the ``(blue, computed)``
+        key are comparable, and one with a red *subset* at equal-or-higher
+        g-cost is dominated (extra red pebbles delete for free).  Disabled in
+        the no-deletion variant, where red pebbles cannot be shed."""
+        if not self.variant.allow_delete:
+            return None
+        red, blue, computed = state
+        return (blue, computed), red
 
     def is_goal(self, state: Tuple[int, int, int]) -> bool:
         return (state[1] & self.sink_mask) == self.sink_mask
@@ -149,10 +243,29 @@ class _RBPSearch:
     def heuristic(self, state: Tuple[int, int, int]) -> int:
         red, blue, computed = state
         h = _popcount(self.sink_mask & ~blue)
-        for s in _bits(self.source_mask & ~red):
-            # a source that still has an uncomputed successor must be (re)loaded
-            if self.succ_mask[s] & ~computed:
-                h += 1
+        if self.variant.one_shot:
+            # Every non-red node with an uncomputed successor must become red
+            # again before that successor can be computed.  Sources and
+            # already-computed nodes can only get there through a load (one
+            # distinct load each); an already-computed node that is neither
+            # blue nor red is lost for good — the state is a dead end.
+            for v in _bits(self.full_mask & ~red):
+                if not (self.succ_mask[v] & ~computed):
+                    continue
+                bit = 1 << v
+                if self.is_source[v]:
+                    h += 1
+                elif computed & bit:
+                    if blue & bit:
+                        h += 1
+                    else:
+                        return self.DEAD_STATE_H
+        else:
+            for s in _bits(self.source_mask & ~red):
+                # a source that still has an uncomputed successor must be
+                # (re)loaded; non-sources may be recomputed instead
+                if self.succ_mask[s] & ~computed:
+                    h += 1
         return h
 
     def successors(
@@ -166,8 +279,21 @@ class _RBPSearch:
         compute_cost = self.variant.compute_cost
 
         # deletable red pebbles (for deferred deletes); in the no-deletion
-        # variant nothing can be deleted.
-        deletable = list(_bits(red)) if allow_delete else []
+        # variant nothing can be deleted.  In the one-shot game, deleting the
+        # only copy of a value that is still needed (an unsaved sink, or an
+        # unsaved computed node with an uncomputed successor) makes the goal
+        # unreachable, so those choices are never generated.
+        deletable: List[int] = []
+        if allow_delete:
+            for d in _bits(red):
+                dbit = 1 << d
+                if (
+                    one_shot
+                    and not (blue & dbit)
+                    and (self.is_sink[d] or (self.succ_mask[d] & ~computed))
+                ):
+                    continue
+                deletable.append(d)
 
         for v in range(self.n):
             bit = 1 << v
@@ -267,6 +393,7 @@ class _PRBPSearch:
             raise SolverError(
                 f"no valid PRBP pebbling exists for r = {r} < 2 on a DAG with edges"
             )
+        self.root_bound = root_lower_bound(dag, r, "prbp", variant)
 
     # state = (codes, marked) where codes packs 2 bits per node
 
@@ -275,6 +402,25 @@ class _PRBPSearch:
         for v in self.sources:
             codes |= int(PRBPState.BLUE) << (2 * v)
         return (codes, 0)
+
+    def dominance(self, state: Tuple[int, int]) -> Tuple[Tuple[int, int], int]:
+        """Dominance key/mask pair.  Light red pebbles are the only freely
+        deletable resource (``BLUE_LIGHT_RED -> BLUE`` is always legal, even
+        in the no-deletion variant), so the key normalises every light pebble
+        to plain blue — states agreeing on marked edges, dark pebbles and the
+        blue base are comparable, and a light-set subset at equal-or-higher
+        g-cost is dominated."""
+        codes, marked = state
+        light = int(PRBPState.BLUE_LIGHT_RED)
+        blue = int(PRBPState.BLUE)
+        light_mask = 0
+        base = codes
+        for v in range(self.n):
+            shift = 2 * v
+            if ((codes >> shift) & 3) == light:
+                light_mask |= 1 << v
+                base = (base & ~(3 << shift)) | (blue << shift)
+        return (base, marked), light_mask
 
     def _state_of(self, codes: int, v: int) -> int:
         return (codes >> (2 * v)) & 3
@@ -295,15 +441,20 @@ class _PRBPSearch:
 
     def heuristic(self, state: Tuple[int, int]) -> int:
         codes, marked = state
+        NONE = int(PRBPState.NONE)
+        DARK = int(PRBPState.DARK_RED)
+        BLUE = int(PRBPState.BLUE)
         h = 0
-        for v in self.sinks:
-            st = self._state_of(codes, v)
-            if st == int(PRBPState.NONE) or st == int(PRBPState.DARK_RED):
-                h += 1  # a save of this sink is still pending
-        for s in self.sources:
-            st = self._state_of(codes, s)
-            if st == int(PRBPState.BLUE) and (self.out_edge_mask[s] & ~marked):
-                h += 1  # the source must be loaded again to mark its remaining out-edges
+        for v in range(self.n):
+            st = (codes >> (2 * v)) & 3
+            if self.is_sink[v]:
+                if st == NONE or st == DARK:
+                    h += 1  # a save of this sink is still pending
+            if st == BLUE and ((self.out_edge_mask[v] | self.in_edge_mask[v]) & ~marked):
+                # a blue node with an unmarked incident edge must be loaded
+                # again: marking an out-edge needs v red, and marking an
+                # in-edge needs v's partial value back in fast memory
+                h += 1
         return h
 
     def _red_count(self, codes: int) -> int:
@@ -322,8 +473,12 @@ class _PRBPSearch:
             if st == int(PRBPState.BLUE_LIGHT_RED):
                 out.append((v, int(PRBPState.BLUE)))
             elif st == int(PRBPState.DARK_RED):
+                # A dark sink still needs its save; deleting it would lose the
+                # value for good (its in-edges are marked, so it can never be
+                # recomputed) — never generate that dead end.
                 if (
                     self.variant.allow_delete
+                    and not self.is_sink[v]
                     and (self.out_edge_mask[v] & ~marked) == 0
                     and (self.in_edge_mask[v] & ~marked) == 0
                 ):
@@ -436,28 +591,60 @@ class _PRBPSearch:
 def _astar(search, max_states: int):
     """Generic A* driver shared by the RBP and PRBP searches.
 
-    Telemetry (expanded states, frontier peak) is published through
-    :func:`last_search_telemetry` whether the search succeeds, runs out of
-    budget, or exhausts the space — the counters are part of the cost model
-    the benchmark suite tracks, not just a success statistic.
+    Heap entries are ``(f, -g, tie, state)`` — among equal f-values the
+    deeper state pops first, which matters once the root bound floors a
+    whole plateau of f-values at the optimum.  Dominance pruning consults a
+    per-key transposition table of ``(mask, g)`` pairs of already-expanded
+    states; a popped state whose mask is a subset of a recorded one at
+    equal-or-lower g is skipped without expansion (and without counting
+    against the state budget).
+
+    Telemetry (expanded states, frontier peak, dominance prunes) is
+    published through :func:`last_search_telemetry` whether the search
+    succeeds, runs out of budget, or exhausts the space — the counters are
+    part of the cost model the benchmark suite tracks, not just a success
+    statistic.
     """
     run_id = next(_run_ids)
+    root = search.root_bound
     start = search.initial()
     dist: Dict = {start: 0.0}
     parent: Dict = {start: None}
     tie = count()
-    heap = [(search.heuristic(start), 0.0, next(tie), start)]
+    heap = [(max(search.heuristic(start), root), 0.0, -next(tie), start)]
     expanded = 0
+    pruned = 0
     frontier_peak = 1
     completed = False
+    dom_table: Dict = {}
     try:
         while heap:
-            f, g, _, state = heapq.heappop(heap)
+            f, neg_g, _, state = heapq.heappop(heap)
+            g = -neg_g
             if g > dist.get(state, float("inf")):
                 continue
             if search.is_goal(state):
                 completed = True
                 return g, state, parent
+            dom = search.dominance(state)
+            if dom is not None:
+                key, mask = dom
+                entries = dom_table.setdefault(key, [])
+                dominated = False
+                for mask0, g0 in entries:
+                    if g0 <= g + 1e-12 and (mask | mask0) == mask0:
+                        dominated = True
+                        break
+                if dominated:
+                    pruned += 1
+                    continue
+                # the new entry may in turn dominate recorded ones; drop them
+                entries[:] = [
+                    (mask0, g0)
+                    for mask0, g0 in entries
+                    if not ((mask0 | mask) == mask and g <= g0 + 1e-12)
+                ]
+                entries.append((mask, g))
             expanded += 1
             if expanded > max_states:
                 raise SolverError(
@@ -469,9 +656,10 @@ def _astar(search, max_states: int):
                 if ng < dist.get(new_state, float("inf")) - 1e-12:
                     dist[new_state] = ng
                     parent[new_state] = (state, moves)
-                    heapq.heappush(
-                        heap, (ng + search.heuristic(new_state), ng, next(tie), new_state)
-                    )
+                    nf = ng + search.heuristic(new_state)
+                    if nf < root:
+                        nf = root
+                    heapq.heappush(heap, (nf, -ng, -next(tie), new_state))
             if len(heap) > frontier_peak:
                 frontier_peak = len(heap)
         raise SolverError("the search space was exhausted without reaching a terminal configuration")
@@ -481,6 +669,7 @@ def _astar(search, max_states: int):
             expanded=expanded,
             frontier_peak=frontier_peak,
             completed=completed,
+            dominated_pruned=pruned,
         )
 
 

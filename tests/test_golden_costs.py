@@ -1,0 +1,70 @@
+"""Golden-value regression tests: pinned optimal costs of the paper's instances.
+
+Every value below was computed by the exhaustive solvers and cross-checked
+against the paper's closed forms where one exists (Prop. 4.2 for Figure 1,
+App. A.2 for the trees, Prop. 4.6/4.7 for the gadgets).  A solver refactor
+that changes any of these numbers is changing *optima*, not implementation
+detail — these tests make that impossible to do silently.
+"""
+
+import pytest
+
+from repro.api import PebblingProblem, solve
+from repro.dags.gadgets import (
+    chained_gadget_dag,
+    figure1_gadget,
+    pebble_collection_instance,
+    zipper_instance,
+)
+from repro.dags.trees import kary_tree_dag, optimal_prbp_tree_cost, optimal_rbp_tree_cost
+
+#: (label, DAG factory, r, golden OPT_RBP, golden OPT_PRBP)
+GOLDEN = [
+    ("figure1-r4", lambda: figure1_gadget(), 4, 3, 2),
+    ("figure1-r5", lambda: figure1_gadget(), 5, 2, 2),
+    ("tree-k2-d2-critical", lambda: kary_tree_dag(2, 2), 3, 7, 5),
+    ("tree-k3-d2-critical", lambda: kary_tree_dag(3, 2), 4, 14, 10),
+    ("zipper-d2-l2", lambda: zipper_instance(2, 2).dag, 4, 5, 5),
+    ("zipper-d3-l2", lambda: zipper_instance(3, 2).dag, 5, 7, 7),
+    ("collection-d2-l2", lambda: pebble_collection_instance(2, 2).dag, 4, 3, 3),
+    ("collection-d2-l3", lambda: pebble_collection_instance(2, 3).dag, 4, 3, 3),
+    ("chained-gadget-1", lambda: chained_gadget_dag(1), 4, 3, 2),
+]
+
+
+@pytest.mark.parametrize("label, factory, r, opt_rbp, opt_prbp", GOLDEN, ids=[g[0] for g in GOLDEN])
+def test_pinned_optimal_costs(label, factory, r, opt_rbp, opt_prbp):
+    dag = factory()
+    for game, golden in (("rbp", opt_rbp), ("prbp", opt_prbp)):
+        result = solve(PebblingProblem(dag, r, game=game), solver="exhaustive")
+        assert result.exact_solver
+        assert result.cost == golden, (
+            f"{label}: OPT_{game.upper()} changed from the pinned {golden} to {result.cost}"
+        )
+
+
+@pytest.mark.parametrize("label, factory, r, opt_rbp, opt_prbp", GOLDEN, ids=[g[0] for g in GOLDEN])
+def test_prbp_never_exceeds_rbp(label, factory, r, opt_rbp, opt_prbp):
+    # Proposition 4.1 instantiated on the golden set — a broken pin that
+    # violated it would be a transcription error, not a measurement.
+    assert opt_prbp <= opt_rbp
+
+
+def test_figure1_matches_proposition_42():
+    # The paper's opening example: partial computations save exactly one I/O.
+    dag = figure1_gadget()
+    rbp = solve(PebblingProblem(dag, 4, game="rbp"), solver="exhaustive")
+    prbp = solve(PebblingProblem(dag, 4, game="prbp"), solver="exhaustive")
+    assert (rbp.cost, prbp.cost) == (3, 2)
+
+
+@pytest.mark.parametrize("k, depth", [(2, 2), (2, 3), (3, 2)])
+def test_tree_closed_forms_match_pinned_search(k, depth):
+    # Appendix A.2 closed forms agree with exhaustive search at the critical
+    # capacity r = k + 1 (for sizes the search can handle).
+    dag = kary_tree_dag(k, depth)
+    r = k + 1
+    rbp = solve(PebblingProblem(dag, r, game="rbp"), solver="exhaustive")
+    prbp = solve(PebblingProblem(dag, r, game="prbp"), solver="exhaustive")
+    assert rbp.cost == optimal_rbp_tree_cost(k, depth)
+    assert prbp.cost == optimal_prbp_tree_cost(k, depth)

@@ -1,0 +1,253 @@
+"""Batch-solving consistency: solve_many ≡ serial solve(), cache included.
+
+The contract under test is the one :mod:`repro.api.batch` documents: for any
+batch, any job count and any cache state, ``solve_many`` returns results
+identical to a serial ``solve()`` loop — same costs, same winning solvers,
+same move lists.  Corruption of on-disk cache entries must be detected and
+answered with recomputation, never with a damaged result.
+"""
+
+import pickle
+
+import pytest
+
+from repro.api import (
+    PebblingProblem,
+    ResultCache,
+    SolveResult,
+    problem_digest,
+    solve,
+    solve_many,
+    solve_many_detailed,
+)
+from repro.core.exceptions import SolverError
+from repro.dags import figure1_gadget, kary_tree_dag
+from repro.dags.random_dags import random_dag, random_layered_dag
+
+
+def _mixed_batch():
+    """Exhaustive, structured and greedy territory in one batch."""
+    return [
+        PebblingProblem(figure1_gadget(), r=4, game="prbp"),
+        PebblingProblem(figure1_gadget(), r=4, game="rbp"),
+        PebblingProblem(kary_tree_dag(2, 3), r=3, game="prbp"),
+        PebblingProblem(kary_tree_dag(2, 3), r=3, game="rbp"),
+        PebblingProblem(random_layered_dag((4, 6, 4), 0.3, 3, 0), r=5, game="prbp"),
+        PebblingProblem(random_dag(6, edge_probability=0.3, seed=11), r=3, game="prbp"),
+    ]
+
+
+def _assert_identical(batch_results, serial_results):
+    assert len(batch_results) == len(serial_results)
+    for got, want in zip(batch_results, serial_results):
+        assert isinstance(got, SolveResult)
+        assert got.cost == want.cost
+        assert got.solver == want.solver
+        assert got.exact_solver == want.exact_solver
+        assert got.lower_bound == want.lower_bound
+        assert got.lower_bound_source == want.lower_bound_source
+        assert got.stats == want.stats
+        assert got.schedule.moves == want.schedule.moves
+        assert got.problem == want.problem
+
+
+class TestSerialEquivalence:
+    def test_batch_matches_serial_loop(self):
+        problems = _mixed_batch()
+        _assert_identical(solve_many(problems), [solve(p) for p in problems])
+
+    def test_parallel_matches_serial_loop(self):
+        problems = _mixed_batch()
+        _assert_identical(solve_many(problems, jobs=4), [solve(p) for p in problems])
+
+    def test_cached_second_pass_matches_serial_loop(self, tmp_path):
+        problems = _mixed_batch()
+        serial = [solve(p) for p in problems]
+        cache = ResultCache(directory=tmp_path)
+        _assert_identical(solve_many(problems, cache=cache), serial)
+        assert cache.stats.stores == len(problems)
+        # a fresh cache object reads everything back from disk
+        cache2 = ResultCache(directory=tmp_path)
+        _assert_identical(solve_many(problems, cache=cache2), serial)
+        assert cache2.stats.hits == len(problems)
+        assert cache2.stats.misses == 0
+
+    def test_parallel_cached_combination(self, tmp_path):
+        problems = _mixed_batch()
+        serial = [solve(p) for p in problems]
+        cache = ResultCache(directory=tmp_path)
+        _assert_identical(solve_many(problems, jobs=3, cache=cache), serial)
+        _assert_identical(solve_many(problems, jobs=3, cache=cache), serial)
+        assert cache.stats.hits == len(problems)
+
+    def test_duplicates_are_solved_once_per_digest(self, tmp_path):
+        problem = PebblingProblem(figure1_gadget(), r=4, game="prbp")
+        cache = ResultCache(directory=tmp_path)
+        results, info = solve_many_detailed([problem, problem, problem], cache=cache)
+        assert cache.stats.stores == 1
+        assert [r.cost for r in results] == [2, 2, 2]
+        assert info.digests[0] == info.digests[1] == info.digests[2]
+
+    def test_duplicates_dedupe_without_a_cache(self):
+        problem = PebblingProblem(figure1_gadget(), r=4, game="prbp")
+        results, info = solve_many_detailed([problem, problem])
+        assert [r.cost for r in results] == [2, 2]
+        assert results[0] is results[1]  # one solve, shared outcome
+        assert info.digests[0] == info.digests[1] is not None
+
+    def test_per_problem_solvers(self):
+        problems = [
+            PebblingProblem(figure1_gadget(), r=4, game="prbp"),
+            PebblingProblem(kary_tree_dag(2, 3), r=3, game="prbp"),
+        ]
+        results = solve_many(problems, solver=["exhaustive", "tree"])
+        assert [r.solver for r in results] == ["exhaustive", "tree"]
+
+    def test_solver_count_mismatch_is_rejected(self):
+        with pytest.raises(ValueError):
+            solve_many([PebblingProblem(figure1_gadget(), r=4)], solver=["auto", "auto"])
+
+
+class TestErrorPolicy:
+    def _with_infeasible(self):
+        return [
+            PebblingProblem(figure1_gadget(), r=4, game="prbp"),
+            # RBP needs r >= max in-degree + 1; r=2 is infeasible on figure 1
+            PebblingProblem(figure1_gadget(), r=2, game="rbp"),
+        ]
+
+    def test_default_raises_first_solver_error(self):
+        with pytest.raises(SolverError):
+            solve_many(self._with_infeasible())
+
+    def test_return_exceptions_keeps_positions(self):
+        results = solve_many(self._with_infeasible(), return_exceptions=True)
+        assert isinstance(results[0], SolveResult) and results[0].cost == 2
+        assert isinstance(results[1], SolverError)
+
+    def test_return_exceptions_parallel(self):
+        results = solve_many(self._with_infeasible(), jobs=2, return_exceptions=True)
+        assert isinstance(results[0], SolveResult) and results[0].cost == 2
+        assert isinstance(results[1], SolverError)
+
+    def test_solver_errors_are_never_cached(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        solve_many(self._with_infeasible(), cache=cache, return_exceptions=True)
+        assert cache.stats.stores == 1  # only the solvable problem
+
+
+class TestCacheIntegrity:
+    def _prime(self, tmp_path):
+        problem = PebblingProblem(figure1_gadget(), r=4, game="prbp")
+        cache = ResultCache(directory=tmp_path)
+        [result] = solve_many([problem], cache=cache)
+        digest = problem_digest(problem)
+        path = cache._path(digest)
+        assert path.exists()
+        return problem, digest, path, result
+
+    def test_bit_flip_is_detected_and_recomputed(self, tmp_path):
+        problem, digest, path, want = self._prime(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        cache = ResultCache(directory=tmp_path)
+        [got] = solve_many([problem], cache=cache)
+        assert cache.stats.corrupt == 1
+        assert not path.exists() or cache.stats.stores == 1  # entry was replaced
+        assert got.cost == want.cost and got.schedule.moves == want.schedule.moves
+
+    def test_truncation_is_detected_and_recomputed(self, tmp_path):
+        problem, digest, path, want = self._prime(tmp_path)
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 3])
+        cache = ResultCache(directory=tmp_path)
+        [got] = solve_many([problem], cache=cache)
+        assert cache.stats.corrupt == 1
+        assert got.cost == want.cost
+
+    def test_forged_entry_for_wrong_problem_is_rejected(self, tmp_path):
+        problem, digest, path, _ = self._prime(tmp_path)
+        # A checksum-valid entry whose payload answers a different problem:
+        other = solve(PebblingProblem(kary_tree_dag(2, 2), r=3, game="prbp"))
+        payload = pickle.dumps(
+            {"digest": digest, "result": other}, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        import hashlib
+
+        path.write_bytes(hashlib.sha256(payload).hexdigest().encode() + b"\n" + payload)
+        cache = ResultCache(directory=tmp_path)
+        [got] = solve_many([problem], cache=cache)
+        assert cache.stats.corrupt == 1
+        assert got.problem == problem and got.cost == 2
+
+    def test_memory_only_cache(self):
+        problems = _mixed_batch()[:2]
+        cache = ResultCache(directory=None)
+        first = solve_many(problems, cache=cache)
+        second = solve_many(problems, cache=cache)
+        assert cache.stats.hits == len(problems)
+        _assert_identical(second, first)
+
+    def test_clear_empties_the_store(self, tmp_path):
+        problem, digest, path, _ = self._prime(tmp_path)
+        cache = ResultCache(directory=tmp_path)
+        cache.clear()
+        assert not path.exists()
+        assert cache.get(problem, digest) is None
+
+
+class TestDigest:
+    def test_digest_is_stable_across_rebuilds(self):
+        a = PebblingProblem(figure1_gadget(), r=4, game="prbp")
+        b = PebblingProblem(figure1_gadget(), r=4, game="prbp")
+        assert problem_digest(a) == problem_digest(b)
+
+    def test_digest_separates_every_solve_ingredient(self):
+        base = PebblingProblem(figure1_gadget(), r=4, game="prbp")
+        variants = [
+            problem_digest(base.with_r(5)),
+            problem_digest(base.with_game("rbp")),
+            problem_digest(base, solver="greedy"),
+            problem_digest(base, options={"budget": 10}),
+            problem_digest(PebblingProblem(kary_tree_dag(2, 2), r=4, game="prbp")),
+        ]
+        digests = [problem_digest(base)] + variants
+        assert len(set(digests)) == len(digests)
+
+
+class TestTimeout:
+    def test_parallel_timeout_becomes_solver_error(self):
+        # PRBP searches on dense 11-node DAGs take far longer than 10 ms;
+        # the workers are terminated after collection, so nothing lingers.
+        # Two distinct seeds — identical problems would dedup to one task.
+        hard = [
+            PebblingProblem(random_dag(11, edge_probability=0.5, seed=s), r=3, game="prbp")
+            for s in (3, 4)
+        ]
+        results = solve_many(
+            hard,
+            solver="exhaustive",
+            budget=2_000_000,
+            jobs=2,
+            timeout_s=0.01,
+            return_exceptions=True,
+        )
+        assert all(isinstance(r, SolverError) for r in results)
+        assert any("timed out" in str(r) for r in results)
+
+    def test_single_miss_with_timeout_still_uses_a_worker(self):
+        # Even one pending problem must honour timeout_s (a serial solve
+        # cannot be pre-empted), so the pool is used despite the dedup.
+        hard = PebblingProblem(
+            random_dag(11, edge_probability=0.5, seed=3), r=3, game="prbp"
+        )
+        results = solve_many(
+            [hard, hard],  # dedups to a single unique miss
+            solver="exhaustive",
+            budget=2_000_000,
+            jobs=2,
+            timeout_s=0.01,
+            return_exceptions=True,
+        )
+        assert all(isinstance(r, SolverError) for r in results)
+        assert all("timed out" in str(r) for r in results)

@@ -1,0 +1,148 @@
+"""Property-based correctness suite for the solver stack.
+
+Random small DAGs drive four families of properties, in the spirit of
+verified-checker tooling: nothing a solver reports is trusted — every
+schedule is independently replayed through the game engine, every cost is
+sandwiched between bounds the library derives separately.
+
+* **validity** — every solver's schedule replays legally and terminally;
+* **capacity monotonicity** — the optimum never increases when ``r`` grows;
+* **solver ordering** — exhaustive ≤ greedy ≤ naive, per game;
+* **bound soundness** — every lower bound in :mod:`repro.bounds` is at most
+  the exhaustive optimum.
+
+Sizes are kept small (n ≤ 7) so the exhaustive searches stay in the
+millisecond range; the Hypothesis profile (see ``conftest.py``) bounds the
+example count and pins the CI runs to a fixed derandomized seed.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.api import PebblingProblem, best_lower_bound, solve  # noqa: E402
+from repro.bounds.hongkung import rbp_lower_bound_exact  # noqa: E402
+from repro.bounds.prbp_bounds import (  # noqa: E402
+    prbp_dominator_lower_bound_exact,
+    prbp_edge_lower_bound_exact,
+)
+from repro.core.exceptions import SolverError  # noqa: E402
+from repro.dags.random_dags import random_dag  # noqa: E402
+
+SETTINGS = settings(max_examples=20, deadline=None)
+
+#: Every generally-applicable registered solver, cheapest-schedule first.
+GENERIC_SOLVERS = ("exhaustive", "greedy", "naive")
+
+
+@st.composite
+def small_dags(draw):
+    """A small unstructured random DAG (reproducible via its seed tag)."""
+    n = draw(st.integers(min_value=3, max_value=7))
+    prob = draw(st.floats(min_value=0.1, max_value=0.5))
+    seed = draw(st.integers(min_value=0, max_value=50_000))
+    return random_dag(n, edge_probability=prob, seed=seed)
+
+
+def _solve(dag, r, game, solver):
+    return solve(PebblingProblem(dag, r, game=game), solver=solver)
+
+
+def _feasible_rbp_r(dag, extra=0):
+    return dag.max_in_degree + 1 + extra
+
+
+class TestEverySchedulePassesValidityReplay:
+    @SETTINGS
+    @given(dag=small_dags(), extra=st.integers(min_value=0, max_value=2))
+    def test_rbp_schedules_replay(self, dag, extra):
+        r = _feasible_rbp_r(dag, extra)
+        for solver in GENERIC_SOLVERS:
+            result = _solve(dag, r, "rbp", solver)
+            game = result.schedule.validate()  # raises on any illegal move
+            assert game.is_terminal()
+            assert game.io_cost == result.cost
+            assert result.stats.peak_red <= r
+
+    @SETTINGS
+    @given(dag=small_dags(), r=st.integers(min_value=2, max_value=5))
+    def test_prbp_schedules_replay(self, dag, r):
+        for solver in GENERIC_SOLVERS:
+            result = _solve(dag, r, "prbp", solver)
+            game = result.schedule.validate()
+            assert game.is_terminal()
+            assert game.io_cost == result.cost
+            assert result.stats.peak_red <= r
+
+
+class TestCostIsMonotoneInCapacity:
+    @SETTINGS
+    @given(dag=small_dags(), extra=st.integers(min_value=0, max_value=2))
+    def test_rbp_optimum_non_increasing_in_r(self, dag, extra):
+        r = _feasible_rbp_r(dag, extra)
+        assert (
+            _solve(dag, r + 1, "rbp", "exhaustive").cost
+            <= _solve(dag, r, "rbp", "exhaustive").cost
+        )
+
+    @SETTINGS
+    @given(dag=small_dags(), r=st.integers(min_value=2, max_value=4))
+    def test_prbp_optimum_non_increasing_in_r(self, dag, r):
+        assert (
+            _solve(dag, r + 1, "prbp", "exhaustive").cost
+            <= _solve(dag, r, "prbp", "exhaustive").cost
+        )
+
+
+class TestSolverOrdering:
+    @SETTINGS
+    @given(dag=small_dags(), extra=st.integers(min_value=0, max_value=2))
+    def test_rbp_exhaustive_beats_greedy_beats_naive(self, dag, extra):
+        r = _feasible_rbp_r(dag, extra)
+        exact, greedy, naive = (_solve(dag, r, "rbp", s).cost for s in GENERIC_SOLVERS)
+        assert exact <= greedy <= naive
+
+    @SETTINGS
+    @given(dag=small_dags(), r=st.integers(min_value=2, max_value=5))
+    def test_prbp_exhaustive_beats_greedy_beats_naive(self, dag, r):
+        exact, greedy, naive = (_solve(dag, r, "prbp", s).cost for s in GENERIC_SOLVERS)
+        assert exact <= greedy <= naive
+
+
+class TestEveryLowerBoundIsBelowTheOptimum:
+    @SETTINGS
+    @given(dag=small_dags(), extra=st.integers(min_value=0, max_value=1))
+    def test_rbp_bounds_sound(self, dag, extra):
+        r = _feasible_rbp_r(dag, extra)
+        opt = _solve(dag, r, "rbp", "exhaustive").cost
+        assert dag.trivial_cost() <= opt
+        assert rbp_lower_bound_exact(dag, r) <= opt
+        problem = PebblingProblem(dag, r, game="rbp")
+        bound, _source = best_lower_bound(problem)
+        assert bound is None or bound <= opt
+
+    @SETTINGS
+    @given(dag=small_dags(), r=st.integers(min_value=2, max_value=4))
+    def test_prbp_bounds_sound(self, dag, r):
+        opt = _solve(dag, r, "prbp", "exhaustive").cost
+        assert dag.trivial_cost() <= opt
+        assert prbp_dominator_lower_bound_exact(dag, r) <= opt
+        try:
+            edge_bound = prbp_edge_lower_bound_exact(dag, r)
+        except SolverError:
+            edge_bound = None  # more edges than the exact search supports
+        assert edge_bound is None or edge_bound <= opt
+        problem = PebblingProblem(dag, r, game="prbp")
+        bound, _source = best_lower_bound(problem)
+        assert bound is None or bound <= opt
+
+    @SETTINGS
+    @given(dag=small_dags(), r=st.integers(min_value=2, max_value=4))
+    def test_prbp_optimum_never_exceeds_rbp_optimum(self, dag, r):
+        # Proposition 4.1, with the RBP side posed at a feasible capacity.
+        r_rbp = max(r, _feasible_rbp_r(dag))
+        assert (
+            _solve(dag, r_rbp, "prbp", "exhaustive").cost
+            <= _solve(dag, r_rbp, "rbp", "exhaustive").cost
+        )
