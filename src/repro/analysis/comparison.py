@@ -94,6 +94,8 @@ def compare_models(
     max_states: int = 500_000,
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    seed: Optional[int] = None,
+    **solve_options: object,
 ) -> ModelComparison:
     """Compare RBP and PRBP costs on ``dag`` with capacity ``r``.
 
@@ -101,7 +103,11 @@ def compare_models(
     with the ``"auto"`` portfolio: exhaustive optima below
     ``exact_node_limit`` nodes (within the ``max_states`` search budget), the
     family-matched structured strategy when the DAG carries a family tag, and
-    the greedy upper-bound fallback otherwise.  ``jobs=2`` solves the two
+    the greedy upper-bound fallback otherwise, each followed by the anytime
+    refinement pass (``seed`` pins its RNG; the pass auto-skips provably
+    optimal results and DAGs above
+    :data:`~repro.api.dispatch.GREEDY_COMPARISON_NODE_LIMIT` nodes — on
+    those, pass ``refine_steps=`` explicitly).  ``jobs=2`` solves the two
     games in parallel worker processes and ``cache`` reuses previously solved
     sides; either way the costs are identical to the serial defaults.  A game
     with no valid pebbling at all (e.g. RBP with ``r < Δ_in + 1``) is
@@ -112,10 +118,12 @@ def compare_models(
         problems,
         solver="auto",
         budget=max_states,
+        seed=seed,
         exact_node_limit=exact_node_limit,
         jobs=jobs,
         cache=cache,
         return_exceptions=True,
+        **solve_options,
     )
     rbp_result, prbp_result = (
         outcome if isinstance(outcome, SolveResult) else None for outcome in outcomes

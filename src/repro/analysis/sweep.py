@@ -83,14 +83,19 @@ def run_solver_sweep(
     ``problem_fn`` receives each parameter tuple unpacked and returns the
     :class:`PebblingProblem` to solve; the collected metrics per row are
     ``cost``, ``solver`` (the portfolio member that won), ``optimal``,
-    ``lower_bound`` and ``peak_red``.  A parameter point with no valid
-    pebbling records ``None`` for every metric instead of aborting the sweep.
+    ``lower_bound``, ``peak_red`` and ``refined_from`` (the cost the anytime
+    refinement pass started from, when it improved the row — ``None`` for
+    unrefined rows, so a sweep table shows at a glance where the local
+    search earned its keep).  A parameter point with no valid pebbling
+    records ``None`` for every metric instead of aborting the sweep.
 
     The whole grid is posed as one batch, so ``jobs`` spreads it over worker
     processes and ``cache`` lets repeated sweeps (or overlapping grids) skip
     re-solving — rows come back identical to the serial defaults either way.
+    ``solve_options`` forward to every solve, so ``seed=`` / ``refine_steps=``
+    turn a sweep into a reproducible quality/time dial.
     """
-    metric_names = ("cost", "solver", "optimal", "lower_bound", "peak_red")
+    metric_names = ("cost", "solver", "optimal", "lower_bound", "peak_red", "refined_from")
     result = SweepResult(
         parameter_names=tuple(parameter_names), metric_names=metric_names
     )
@@ -107,12 +112,20 @@ def run_solver_sweep(
     )
     for params, outcome in zip(params_list, outcomes):
         if isinstance(outcome, SolveResult):
+            trajectory = (
+                outcome.solve_stats.refinement if outcome.solve_stats is not None else None
+            )
             row: Dict[str, object] = {
                 "cost": outcome.cost,
                 "solver": outcome.solver,
                 "optimal": outcome.optimal,
                 "lower_bound": outcome.lower_bound,
                 "peak_red": outcome.stats.peak_red,
+                "refined_from": (
+                    trajectory.initial_cost
+                    if trajectory is not None and trajectory.improvement > 0
+                    else None
+                ),
             }
         else:
             row = {name: None for name in metric_names}

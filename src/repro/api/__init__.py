@@ -19,11 +19,13 @@ budget, a family-matched structured strategy when the DAG carries a
 :class:`~repro.core.dag.DAGFamily` tag, greedy otherwise.
 """
 
+from ..solvers.anytime import RefinementTrajectory, refine_schedule
 from .batch import BatchInfo, solve_many, solve_many_detailed
 from .bounds import best_lower_bound
 from .cache import (
     CacheStats,
     ResultCache,
+    cacheable_options,
     default_cache_dir,
     problem_digest,
 )
@@ -60,7 +62,10 @@ __all__ = [
     "BatchInfo",
     "ResultCache",
     "CacheStats",
+    "RefinementTrajectory",
+    "refine_schedule",
     "problem_digest",
+    "cacheable_options",
     "default_cache_dir",
     "AUTO_EXACT_NODE_LIMIT",
     "DEFAULT_AUTO_BUDGET",

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..core.dag import DAGFamily
-from ..core.exceptions import SolverError
+from ..core.exceptions import IllegalMoveError, SolverError
 from ..core.variants import ONE_SHOT
 from ..dags.attention import attention_instance
 from ..dags.fanin import fanin_groups_instance
@@ -36,6 +36,12 @@ from ..dags.gadgets import (
 )
 from ..dags.linalg import matmul_instance, matvec_instance
 from ..dags.trees import kary_tree_instance
+from ..solvers.anytime import (
+    BEAM_NODE_LIMIT,
+    beam_construct,
+    refine_schedule,
+    schedule_io_count,
+)
 from ..solvers.baselines import naive_prbp_schedule, naive_rbp_schedule
 from ..solvers.exhaustive import (
     DEFAULT_MAX_STATES,
@@ -45,7 +51,7 @@ from ..solvers.exhaustive import (
 from ..solvers.greedy import greedy_rbp_schedule, topological_prbp_schedule
 from ..solvers import structured
 from .problem import PebblingProblem
-from .registry import register_solver
+from .registry import list_solvers, register_solver
 from .result import Schedule
 
 __all__: list = []
@@ -94,6 +100,93 @@ def _naive(problem: PebblingProblem, **options: object) -> Schedule:
     if problem.game == "rbp":
         return naive_rbp_schedule(problem.dag, problem.r, variant=problem.variant)
     return naive_prbp_schedule(problem.dag, problem.r, variant=problem.variant)
+
+
+def _anytime_min_r(problem: PebblingProblem) -> int:
+    # the greedy seeds' feasibility floors: PRBP pebbles any DAG with 2
+    # pebbles, RBP needs every input of a node in fast memory at once
+    if problem.game == "prbp":
+        return 2 if problem.dag.m > 0 else 1
+    return problem.dag.max_in_degree + 1
+
+
+@register_solver(
+    "anytime",
+    games=("rbp", "prbp"),
+    description="budgeted local-search refinement over greedy/structured/beam seeds",
+    min_r=_anytime_min_r,
+)
+def _anytime(problem: PebblingProblem, **options: object) -> Schedule:
+    """Anytime portfolio: seed with the cheapest known schedule, then refine.
+
+    Seeds are gathered from every family-matched structured solver plus the
+    greedy baseline; a beam-search constructor (bounded by the best seed's
+    cost) joins in on DAGs of at most ``BEAM_NODE_LIMIT`` nodes.  The
+    cheapest seed is refined under the configured step/wall-clock budget —
+    the returned schedule never costs more than the best seed.
+
+    Options: ``refine_steps`` (or ``budget``) for the mutation-attempt
+    budget, ``time_budget_s`` for a wall-clock ceiling, ``seed`` for the
+    RNG, ``beam_width=0`` to disable the constructor.
+    """
+    seeds: list = []
+    failures: list = []
+    for info in list_solvers(game=problem.game):
+        if not info.families or not info.supports(problem):
+            continue
+        try:
+            schedule = info.fn(problem)
+        except SolverError as exc:
+            failures.append((info.name, str(exc)))
+            continue
+        seeds.append((info.name, schedule))
+    try:
+        if problem.game == "rbp":
+            greedy = greedy_rbp_schedule(problem.dag, problem.r, variant=problem.variant)
+        else:
+            greedy = topological_prbp_schedule(problem.dag, problem.r, variant=problem.variant)
+        seeds.append(("greedy", greedy))
+    except (SolverError, IllegalMoveError) as exc:
+        # IllegalMoveError: a variant (e.g. no-deletion) forbids the moves
+        # the greedy builder relies on — not a seed, but not fatal either
+        failures.append(("greedy", str(exc)))
+    if not seeds:
+        detail = "; ".join(f"{name}: {reason}" for name, reason in failures)
+        raise SolverError(
+            f"anytime solver found no seed schedule for {problem.describe()} — {detail}"
+        )
+
+    best_cost, origin, best = min(
+        ((schedule_io_count(schedule), name, schedule) for name, schedule in seeds),
+        key=lambda scored: scored[0],
+    )
+
+    rng_seed = int(options.get("seed") or 0)
+    beam_width = options.get("beam_width")
+    width = 6 if beam_width is None else int(beam_width)
+    if width > 0 and problem.n <= int(options.get("beam_node_limit", BEAM_NODE_LIMIT)):
+        constructed = beam_construct(
+            problem.dag,
+            problem.r,
+            problem.game,
+            problem.variant,
+            upper_bound=best_cost,
+            width=width,
+            seed=rng_seed,
+        )
+        if constructed is not None:
+            origin, best = "beam", constructed
+
+    steps = options.get("refine_steps", options.get("budget"))
+    time_budget_s = options.get("time_budget_s")
+    refined, _trajectory = refine_schedule(
+        best,
+        steps=None if steps is None else int(steps),
+        time_budget_s=None if time_budget_s is None else float(time_budget_s),
+        seed=rng_seed,
+        origin=origin,
+    )
+    return refined
 
 
 # --------------------------------------------------------------------------- #

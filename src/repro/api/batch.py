@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.exceptions import SolverError
-from .cache import ResultCache, problem_digest
+from .cache import ResultCache, cacheable_options, problem_digest
 from .dispatch import AUTO_EXACT_NODE_LIMIT, solve
 from .problem import PebblingProblem
 from .result import SolveResult
@@ -161,6 +161,7 @@ def solve_many_detailed(
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     budget: Optional[int] = None,
+    seed: Optional[int] = None,
     exact_node_limit: int = AUTO_EXACT_NODE_LIMIT,
     timeout_s: Optional[float] = None,
     repeats: int = 1,
@@ -174,12 +175,18 @@ def solve_many_detailed(
     solvers = _normalise_solvers(solver, n)
     if budget is not None:
         options = {**options, "budget": budget}
+    if seed is not None:
+        options = {**options, "seed": seed}
     if exact_node_limit != AUTO_EXACT_NODE_LIMIT:
         # only a non-default limit goes into the options (and the digest):
         # solve() behaves identically either way for the default, and keeping
         # the default implicit makes problem_digest(p) == the digest used here
         options = {**options, "exact_node_limit": exact_node_limit}
     all_options = _normalise_options(options, per_problem_options, n)
+    # A solve under an active wall-clock budget is non-deterministic: its
+    # digest deliberately omits the budget, so it must bypass the cache *and*
+    # the in-batch dedup (two time-budgeted solves are not interchangeable).
+    cacheable = [cacheable_options(all_options[i]) for i in range(n)]
 
     info = BatchInfo(cache_hits=[False] * n, digests=[None] * n)
     outcomes: List[Optional[Outcome]] = [None] * n
@@ -190,7 +197,7 @@ def solve_many_detailed(
     for i, problem in enumerate(problems):
         digest = problem_digest(problem, solver=solvers[i], options=all_options[i])
         info.digests[i] = digest
-        if cache is not None:
+        if cache is not None and cacheable[i]:
             hit = cache.get(problem, digest)
             if hit is not None:
                 outcomes[i] = hit
@@ -204,6 +211,9 @@ def solve_many_detailed(
     unique_pending: List[int] = []
     for i in pending:
         digest = info.digests[i]
+        if not cacheable[i]:
+            unique_pending.append(i)
+            continue
         if digest in representative:
             duplicates[i] = representative[digest]
             continue
@@ -273,7 +283,7 @@ def solve_many_detailed(
     # store fresh results, then mirror representatives onto their duplicates
     if cache is not None:
         for i in unique_pending:
-            if isinstance(outcomes[i], SolveResult):
+            if isinstance(outcomes[i], SolveResult) and cacheable[i]:
                 cache.put(info.digests[i], outcomes[i])
     for i, rep in duplicates.items():
         outcomes[i] = outcomes[rep]
@@ -293,6 +303,7 @@ def solve_many(
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     budget: Optional[int] = None,
+    seed: Optional[int] = None,
     exact_node_limit: int = AUTO_EXACT_NODE_LIMIT,
     timeout_s: Optional[float] = None,
     repeats: int = 1,
@@ -316,8 +327,14 @@ def solve_many(
     cache:
         A :class:`~repro.api.cache.ResultCache`; hits skip solving entirely
         and fresh results are stored back.  ``None`` disables caching.
-    budget, exact_node_limit, options:
-        Forwarded to every :func:`repro.api.solve` call (see there).
+        Problems solved under an active wall-clock budget
+        (``time_budget_s``) bypass the cache and the in-batch dedup — their
+        results are machine-dependent, so neither sharing nor storing them
+        is sound.
+    budget, seed, exact_node_limit, options:
+        Forwarded to every :func:`repro.api.solve` call (see there); ``seed``
+        drives the anytime refinement engine, so a fixed seed keeps batch
+        results bit-identical to a serial ``solve()`` loop.
     timeout_s:
         Per-task ceiling, enforced while collecting parallel results; a
         task over budget yields a :class:`SolverError` and its worker
@@ -341,6 +358,7 @@ def solve_many(
         jobs=jobs,
         cache=cache,
         budget=budget,
+        seed=seed,
         exact_node_limit=exact_node_limit,
         timeout_s=timeout_s,
         repeats=repeats,

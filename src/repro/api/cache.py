@@ -44,14 +44,38 @@ from .result import SolveResult
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
+    "WALL_CLOCK_OPTIONS",
     "CacheStats",
     "ResultCache",
+    "cacheable_options",
     "default_cache_dir",
     "problem_digest",
 ]
 
 #: Bumped whenever the digest inputs or the on-disk layout change shape.
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
+
+#: Solver options that are wall-clock budgets.  They never enter the content
+#: digest — a digest must identify the *deterministic* inputs of a solve,
+#: and a wall-clock budget is not one: the same budget yields different
+#: schedules on different machines (or under different load), so including
+#: it would let two runs share a digest while disagreeing on cost-bearing
+#: fields.  For the same reason a solve carrying an active wall-clock budget
+#: is excluded from caching altogether (see :func:`cacheable_options`).
+WALL_CLOCK_OPTIONS = frozenset({"time_budget_s"})
+
+
+def cacheable_options(options: Optional[Mapping[str, object]]) -> bool:
+    """True iff a solve with these options has a deterministic, cacheable result.
+
+    A solve driven by an active wall-clock budget (``time_budget_s``) can
+    legitimately return different schedules run to run, so neither serving
+    it from a cache nor storing it is sound.  Step budgets and RNG seeds are
+    deterministic and stay cacheable (and digested).
+    """
+    if not options:
+        return True
+    return not any(options.get(key) is not None for key in WALL_CLOCK_OPTIONS)
 
 #: Environment variable overriding :func:`default_cache_dir`.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -91,8 +115,18 @@ def problem_digest(
     hashed through ``repr`` — solver options are plain scalars today, and a
     custom option type only risks a spurious miss, never a false hit, as long
     as its ``repr`` reflects its value.
+
+    Wall-clock budget options (:data:`WALL_CLOCK_OPTIONS`) are deliberately
+    *excluded*: they do not deterministically identify a result, so the
+    digest covers budget-insensitive identity only and the batch layer
+    additionally refuses to cache wall-clock-budgeted solves at all.
     """
     fam = problem.dag.family
+    digested = {
+        key: value
+        for key, value in (options or {}).items()
+        if key not in WALL_CLOCK_OPTIONS
+    }
     h = hashlib.sha256()
     h.update(
         repr(
@@ -105,7 +139,7 @@ def problem_digest(
                 problem.game,
                 problem.variant,
                 solver,
-                tuple(sorted((options or {}).items(), key=lambda kv: kv[0])),
+                tuple(sorted(digested.items(), key=lambda kv: kv[0])),
             )
         ).encode()
     )

@@ -29,14 +29,26 @@ The ``"auto"`` portfolio, in order:
 A step that raises :class:`~repro.core.exceptions.SolverError` falls through
 to the next; if every step fails, :func:`solve` raises a ``SolverError``
 whose message lists what was attempted and why each attempt failed.
+
+Whatever heuristic schedule the portfolio settles on is handed to a final
+**anytime refinement pass** (:mod:`repro.solvers.anytime`): a budgeted,
+seeded local search that can only ever lower the achieved cost.  The pass is
+skipped when the result is already provably optimal; its trajectory (initial
+cost → refined cost, steps, time-to-best) is recorded on
+``SolveResult.solve_stats.refinement``.  The knobs — ``seed`` (first-class
+parameter), ``refine_steps``, ``time_budget_s`` and ``refine=False``
+(solver options) — thread through :func:`solve` and
+:func:`repro.api.solve_many` alike.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import List, Optional, Tuple
 
 from ..core.exceptions import SolverError
+from ..solvers.anytime import last_refinement_trajectory, refine_schedule
 from ..solvers.exhaustive import last_search_telemetry
 from .bounds import best_lower_bound
 from .problem import PebblingProblem
@@ -78,6 +90,7 @@ def _run(
     than once per portfolio attempt.
     """
     telemetry_before = last_search_telemetry()
+    trajectory_before = last_refinement_trajectory()
     start = time.perf_counter()
     schedule: Schedule = info.fn(problem, **options)
     stats = schedule.stats()  # replays through the engine; raises on an illegal schedule
@@ -85,6 +98,9 @@ def _run(
     telemetry = last_search_telemetry()
     if telemetry is telemetry_before:
         telemetry = None  # this solver never entered the A* search
+    trajectory = last_refinement_trajectory()
+    if trajectory is trajectory_before:
+        trajectory = None  # this solver never entered the refinement engine
     return SolveResult(
         problem=problem,
         schedule=schedule,
@@ -97,8 +113,51 @@ def _run(
             wall_time_s=wall_time,
             states_expanded=telemetry.expanded if telemetry else None,
             states_frontier_peak=telemetry.frontier_peak if telemetry else None,
+            refinement=trajectory,
         ),
     )
+
+
+def _apply_refinement(result: SolveResult, **options: object) -> SolveResult:
+    """The auto portfolio's final improvement pass: budgeted anytime refinement.
+
+    Cost-monotone by construction — the refined schedule replaces the
+    original only when it is strictly cheaper; either way the trajectory is
+    recorded on ``solve_stats``.  Skipped entirely when the result is
+    already provably optimal, when ``refine=False`` is passed, or — unless a
+    refinement knob was given explicitly — on DAGs above
+    :data:`GREEDY_COMPARISON_NODE_LIMIT` nodes, where the replay-heavy
+    search would dominate the solve time.
+    """
+    if not options.get("refine", True) or result.optimal:
+        return result
+    steps = options.get("refine_steps")
+    time_budget_s = options.get("time_budget_s")
+    explicit = steps is not None or time_budget_s is not None or "refine" in options
+    if not explicit and result.problem.n > GREEDY_COMPARISON_NODE_LIMIT:
+        return result
+    seed = int(options.get("seed") or 0)
+
+    start = time.perf_counter()
+    refined, trajectory = refine_schedule(
+        result.schedule,
+        steps=None if steps is None else int(steps),
+        time_budget_s=None if time_budget_s is None else float(time_budget_s),
+        seed=seed,
+        origin=result.solver,
+    )
+    extra = time.perf_counter() - start
+
+    old = result.solve_stats
+    solve_stats = SolveStats(
+        wall_time_s=(old.wall_time_s if old is not None else 0.0) + extra,
+        states_expanded=old.states_expanded if old is not None else None,
+        states_frontier_peak=old.states_frontier_peak if old is not None else None,
+        refinement=trajectory,
+    )
+    if trajectory.refined_cost < trajectory.initial_cost:
+        return replace(result, schedule=refined, stats=refined.stats(), solve_stats=solve_stats)
+    return replace(result, solve_stats=solve_stats)
 
 
 def _family_candidates(problem: PebblingProblem) -> List[SolverInfo]:
@@ -146,7 +205,7 @@ def _auto(
     if structured_result is not None and (
         structured_result.optimal or problem.n > GREEDY_COMPARISON_NODE_LIMIT
     ):
-        return structured_result
+        return _apply_refinement(structured_result, **options)
 
     # 3. greedy — the fallback, and the sanity comparison for a structured
     # strategy used away from its critical capacity regime
@@ -156,12 +215,18 @@ def _auto(
         attempts.append(("greedy", str(exc)))
         greedy_result = None
 
+    # 4. whichever heuristic schedule won gets the anytime improvement pass
     if structured_result is not None and greedy_result is not None:
-        return structured_result if structured_result.cost <= greedy_result.cost else greedy_result
+        chosen = (
+            structured_result
+            if structured_result.cost <= greedy_result.cost
+            else greedy_result
+        )
+        return _apply_refinement(chosen, **options)
     if structured_result is not None:
-        return structured_result
+        return _apply_refinement(structured_result, **options)
     if greedy_result is not None:
-        return greedy_result
+        return _apply_refinement(greedy_result, **options)
 
     detail = "; ".join(f"{name}: {reason}" for name, reason in attempts)
     raise SolverError(f"no solver could handle {problem.describe()} — {detail}")
@@ -171,6 +236,7 @@ def solve(
     problem: PebblingProblem,
     solver: str = "auto",
     budget: Optional[int] = None,
+    seed: Optional[int] = None,
     exact_node_limit: int = AUTO_EXACT_NODE_LIMIT,
     **options: object,
 ) -> SolveResult:
@@ -190,12 +256,24 @@ def solve(
         :data:`DEFAULT_AUTO_BUDGET` (500k, tuned so the portfolio stays
         responsive); for ``solver="exhaustive"`` it is the cap itself and
         ``None`` means the solver's own, larger default
-        (:data:`~repro.solvers.exhaustive.DEFAULT_MAX_STATES`).
+        (:data:`~repro.solvers.exhaustive.DEFAULT_MAX_STATES`); for
+        ``solver="anytime"`` it is the refinement step budget.
+    seed:
+        RNG seed for the anytime refinement engine (the auto portfolio's
+        final improvement pass and the ``"anytime"`` solver).  ``None``
+        means the default seed 0; a fixed ``(seed, refine_steps)`` pair
+        makes refined schedules bit-identical across runs and processes.
+        A seed alone does not force the pass — on DAGs above
+        :data:`GREEDY_COMPARISON_NODE_LIMIT` nodes the auto pass is skipped
+        unless ``refine_steps``/``time_budget_s``/``refine`` is given.
     exact_node_limit:
         Auto portfolio only: largest node count for which exhaustive search
         is attempted.
     options:
-        Forwarded to the solver callable (solver-specific knobs).
+        Forwarded to the solver callable (solver-specific knobs).  The
+        refinement pass reads ``refine_steps`` (mutation-attempt budget),
+        ``time_budget_s`` (wall-clock ceiling — results under one are not
+        cacheable) and ``refine=False`` (disable the pass).
 
     Raises
     ------
@@ -204,6 +282,8 @@ def solve(
         family, ``r`` below the solver's minimum), or if every portfolio
         member fails.
     """
+    if seed is not None:
+        options = {**options, "seed": seed}
     if solver == "auto":
         return _auto(problem, budget, exact_node_limit, **options)
 

@@ -13,6 +13,7 @@ from typing import Optional, Union
 
 from ..core.exceptions import PebblingError
 from ..core.strategy import PRBPSchedule, RBPSchedule, ScheduleStats
+from ..solvers.anytime import RefinementTrajectory
 from .problem import PebblingProblem
 
 __all__ = ["SolveResult", "SolveStats", "Schedule"]
@@ -38,11 +39,17 @@ class SolveStats:
         not search (greedy, structured strategies).
     states_frontier_peak:
         Peak size of the A* open list, under the same conditions.
+    refinement:
+        The anytime-refinement trajectory (initial cost, refined cost,
+        steps, time-to-best) when the result went through the refinement
+        engine — either the ``"anytime"`` solver or the auto portfolio's
+        final improvement pass; ``None`` otherwise.
     """
 
     wall_time_s: float
     states_expanded: Optional[int] = None
     states_frontier_peak: Optional[int] = None
+    refinement: Optional[RefinementTrajectory] = None
 
 
 @dataclass(frozen=True)

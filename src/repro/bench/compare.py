@@ -14,6 +14,12 @@ Given the current report and a baseline report, flags
   current run (a silently dropped workload must not look like a pass).
 
 Improvements (faster, cheaper) are reported informationally and never fail.
+
+The comparator is tolerant of the schema-2 additions: it reads only the
+fields both versions share (``io_cost``, ``wall_time_s``, ``error``,
+``expected_ok``), so a version-2 run gates cleanly against a version-1
+baseline whose records lack the ``refine_*`` trajectory fields — refined
+costs simply show up as ordinary ``io_cost`` improvements.
 """
 
 from __future__ import annotations

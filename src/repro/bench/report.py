@@ -21,6 +21,7 @@ from .runner import ScenarioRecord
 __all__ = [
     "SCHEMA_NAME",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "build_report",
     "environment_metadata",
     "write_report",
@@ -31,8 +32,16 @@ __all__ = [
 #: Identifies the document family (grep-able in artifact stores).
 SCHEMA_NAME = "repro-prbp-bench"
 
-#: Bumped on backward-incompatible changes to the record or envelope layout.
-SCHEMA_VERSION = 1
+#: Bumped on changes to the record or envelope layout.  Version 2 adds the
+#: anytime-refinement trajectory fields (``refine_initial_cost``,
+#: ``refine_steps``, ``refine_accepted``, ``refine_time_to_best_s``) to every
+#: scenario record.
+SCHEMA_VERSION = 2
+
+#: Versions :func:`load_report` accepts.  Version-1 documents lack the
+#: refinement fields, which every consumer treats as absent/None — keeping
+#: them loadable lets ``--compare`` gate a v2 run against a v1 baseline.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 
 def environment_metadata() -> Dict[str, object]:
@@ -117,10 +126,10 @@ def load_report(path: Union[str, "os.PathLike[str]"]) -> Dict[str, object]:
             f"(schema = {doc.get('schema') if isinstance(doc, dict) else type(doc).__name__!r})"
         )
     version = doc.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         raise ValueError(
             f"{path}: schema_version {version!r} is not supported "
-            f"(this build reads version {SCHEMA_VERSION})"
+            f"(this build reads versions {SUPPORTED_SCHEMA_VERSIONS})"
         )
     scenarios = doc.get("scenarios")
     if not isinstance(scenarios, list):

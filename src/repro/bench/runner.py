@@ -73,6 +73,14 @@ class ScenarioRecord:
     peak_red: Optional[int] = None
     moves: Optional[int] = None
     cache_hit: Optional[bool] = None
+    #: anytime-refinement trajectory (schema v2): cost the refinement pass
+    #: started from, mutation attempts spent/accepted, and seconds until the
+    #: final best schedule was first reached; all None when the winning
+    #: solver never entered the refinement engine.
+    refine_initial_cost: Optional[int] = None
+    refine_steps: Optional[int] = None
+    refine_accepted: Optional[int] = None
+    refine_time_to_best_s: Optional[float] = None
     error: Optional[str] = None
 
     @property
@@ -107,6 +115,10 @@ class ScenarioRecord:
             "peak_red": self.peak_red,
             "moves": self.moves,
             "cache_hit": self.cache_hit,
+            "refine_initial_cost": self.refine_initial_cost,
+            "refine_steps": self.refine_steps,
+            "refine_accepted": self.refine_accepted,
+            "refine_time_to_best_s": self.refine_time_to_best_s,
             "error": self.error,
         }
 
@@ -140,6 +152,7 @@ def _finish_record(
         expected_ok = (expected_ok is not False) and result.optimal
 
     solve_stats = result.solve_stats
+    trajectory = solve_stats.refinement if solve_stats else None
     return ScenarioRecord(
         n=problem.n,
         m=problem.dag.m,
@@ -157,6 +170,10 @@ def _finish_record(
         peak_red=result.stats.peak_red,
         moves=result.stats.moves,
         cache_hit=cache_hit,
+        refine_initial_cost=trajectory.initial_cost if trajectory else None,
+        refine_steps=trajectory.steps if trajectory else None,
+        refine_accepted=trajectory.accepted if trajectory else None,
+        refine_time_to_best_s=trajectory.time_to_best_s if trajectory else None,
         **base,
     )
 

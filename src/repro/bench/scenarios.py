@@ -598,3 +598,64 @@ def register_builtin_scenarios() -> None:
             reference="Prop. 4.1: OPT_RBP >= OPT_PRBP on every DAG",
         )
     )
+
+    # ------------------------------------------------------------------ #
+    # Anytime refinement (Sections 3 & 8.1): the quality/time dial on the
+    # heuristic workloads — seeded, step-budgeted, trajectory-recorded
+    # ------------------------------------------------------------------ #
+    register_scenario(
+        BenchScenario(
+            name="anytime-tree-offcritical",
+            group="anytime",
+            title="anytime refinement of a reduction tree away from its critical capacity",
+            dag_factory=kary_tree_dag,
+            game="rbp",
+            solver="anytime",
+            solve_options={"seed": 0, "refine_steps": 192},
+            tiers={
+                "quick": ScenarioTier(dag_args=(3, 3), r=5),
+                "full": ScenarioTier(dag_args=(3, 5), r=7),
+            },
+            reference="App. A.2 trees off the r = k + 1 regime (no closed form applies)",
+        )
+    )
+    register_scenario(
+        BenchScenario(
+            name="anytime-fft",
+            group="anytime",
+            title="anytime refinement of the blocked FFT strategy / greedy seed",
+            dag_factory=fft_dag,
+            game="prbp",
+            solver="anytime",
+            solve_options={"seed": 0, "refine_steps": 192},
+            tiers={
+                "quick": ScenarioTier(dag_args=(16,), r=6),
+                "full": ScenarioTier(dag_args=(128,), r=12),
+            },
+            reference="Thm. 6.9 FFT family between the exact and asymptotic regimes",
+        )
+    )
+    register_scenario(
+        BenchScenario(
+            name="anytime-random-layered",
+            group="anytime",
+            title="anytime refinement of greedy PRBP on a random layered DAG",
+            dag_factory=random_layered_dag,
+            game="prbp",
+            solver="anytime",
+            solve_options={"seed": 0, "refine_steps": 192},
+            tiers={
+                "quick": ScenarioTier(
+                    dag_args=((6, 8, 8, 6, 4),),
+                    dag_kwargs={"edge_probability": 0.3, "max_in_degree": 4, "seed": 5},
+                    r=6,
+                ),
+                "full": ScenarioTier(
+                    dag_args=((20, 30, 30, 30, 20, 10),),
+                    dag_kwargs={"edge_probability": 0.3, "max_in_degree": 6, "seed": 5},
+                    r=8,
+                ),
+            },
+            reference="Sec. 8.1 anytime improvement over the Belady baseline",
+        )
+    )

@@ -1,5 +1,13 @@
 """Pebbling solvers: exact search, the paper's structured strategies, greedy baselines."""
 
+from .anytime import (
+    BEAM_NODE_LIMIT,
+    DEFAULT_REFINE_STEPS,
+    RefinementTrajectory,
+    beam_construct,
+    last_refinement_trajectory,
+    refine_schedule,
+)
 from .baselines import naive_prbp_schedule, naive_rbp_schedule
 from .exhaustive import (
     DEFAULT_MAX_STATES,
@@ -28,6 +36,12 @@ from .structured import (
 )
 
 __all__ = [
+    "BEAM_NODE_LIMIT",
+    "DEFAULT_REFINE_STEPS",
+    "RefinementTrajectory",
+    "beam_construct",
+    "last_refinement_trajectory",
+    "refine_schedule",
     "naive_prbp_schedule",
     "naive_rbp_schedule",
     "DEFAULT_MAX_STATES",

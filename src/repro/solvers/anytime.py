@@ -1,0 +1,733 @@
+"""Anytime schedule refinement: budgeted local search over validated schedules.
+
+The structured strategies and the greedy Belady baseline produce *valid* but
+often sub-optimal pebblings, and on DAGs too large for the exhaustive A* the
+library previously reported the lower-bound gap and stopped.  This module
+closes part of that gap: given any legal RBP/PRBP schedule it runs a
+local-search refinement under an explicit step and/or wall-clock budget and
+returns a schedule that is **never costlier than its input** (cost
+monotonicity is enforced by construction — a mutation is kept only when the
+full replay through the game engine is legal and strictly cheaper).
+
+Refinement operators
+--------------------
+* **I/O elision** — peephole removal of provably wasteful I/O: loads of
+  values already in fast memory, saves of values already in slow memory,
+  saves of non-sink values that are never loaded again, and
+  ``delete …​ load`` round trips whose value could have stayed red (the
+  Belady rule mispredicts these whenever capacity frees up shortly after an
+  eviction).
+* **Eviction re-decision** — the realized processing order is extracted from
+  the current schedule and the whole pebbling is rebuilt by the greedy
+  machinery with Belady eviction against that *realized* future; this lets a
+  structured schedule borrow the baseline's eviction policy and vice versa.
+* **Order perturbation** — a node is moved to a different position inside
+  its topological mobility window and the schedule is rebuilt; this explores
+  processing orders the deterministic heuristics never try.
+* **Sliding-window move reordering** — one move is displaced within a small
+  window of the move list, the mutated schedule is replayed for legality,
+  and the elision pass then harvests any round trip the reordering exposed.
+
+A small **beam-search constructor** (:func:`beam_construct`) over game
+configurations complements the local search on mid-size DAGs: it is seeded
+with the cost of the best greedy/structured schedule (used as a
+branch-and-bound ceiling) and returns a cheaper schedule when it finds one
+within its expansion budget.
+
+Determinism
+-----------
+All randomized operators draw from a single ``random.Random(seed)``; with a
+pure step budget (no wall-clock limit) the refined schedule is a
+deterministic, bit-identical function of ``(schedule, steps, seed)``.  A
+wall-clock budget (``time_budget_s``) can only truncate the search earlier,
+which is exactly why results produced under one are treated as
+non-cacheable by :mod:`repro.api.cache`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..core.dag import ComputationalDAG
+from ..core.exceptions import PebblingError, SolverError
+from ..core.moves import MoveKind, PRBPMove, RBPMove
+from ..core.pebbles import PRBPState
+from ..core.prbp import PRBPGame, run_prbp_schedule
+from ..core.rbp import RBPGame, run_rbp_schedule
+from ..core.strategy import PRBPSchedule, RBPSchedule
+from ..core.variants import GameVariant
+from .greedy import greedy_rbp_schedule, topological_prbp_schedule
+
+__all__ = [
+    "DEFAULT_REFINE_STEPS",
+    "BEAM_NODE_LIMIT",
+    "RefinementTrajectory",
+    "refine_schedule",
+    "beam_construct",
+    "last_refinement_trajectory",
+    "schedule_io_count",
+]
+
+Schedule = Union[RBPSchedule, PRBPSchedule]
+Move = Union[RBPMove, PRBPMove]
+
+#: Default mutation-attempt budget when neither ``steps`` nor a wall-clock
+#: budget is given.  Sized so the auto portfolio's final improvement pass
+#: stays in the low-millisecond range on quick-tier workloads.
+DEFAULT_REFINE_STEPS = 96
+
+#: Largest node count for which the beam-search constructor is attempted by
+#: default (branch-and-bound over full game configurations; past this size
+#: the local search alone is the better use of the budget).
+BEAM_NODE_LIMIT = 20
+
+#: Elision sweeps per phase — each sweep re-derives candidates after a
+#: successful removal, so the cap only guards against pathological inputs.
+_MAX_ELISION_SWEEPS = 25
+
+#: Half-width of the sliding reorder window (moves are displaced by at most
+#: this many positions in either direction).
+_REORDER_WINDOW = 12
+
+
+@dataclass(frozen=True)
+class RefinementTrajectory:
+    """How one refinement run progressed from its seed to its final schedule.
+
+    Attributes
+    ----------
+    initial_cost:
+        I/O cost of the schedule the refinement started from.
+    refined_cost:
+        I/O cost of the returned schedule (``<= initial_cost`` always).
+    steps:
+        Mutation attempts actually spent (each attempt replays a candidate
+        schedule through the engine).
+    accepted:
+        How many attempts produced a strictly cheaper legal schedule.
+    time_to_best_s:
+        Wall-clock seconds from the start of refinement until the final best
+        schedule was first reached (0.0 when the seed was never improved).
+    wall_time_s:
+        Total wall-clock seconds spent refining.
+    seed:
+        RNG seed that drove the randomized operators.
+    seed_solver:
+        Provenance of the schedule the refinement started from (a registry
+        solver name, ``"beam"``, or ``"input"``).
+    """
+
+    initial_cost: int
+    refined_cost: int
+    steps: int
+    accepted: int
+    time_to_best_s: float
+    wall_time_s: float
+    seed: int
+    seed_solver: str = "input"
+
+    @property
+    def improvement(self) -> int:
+        """I/O operations shaved off the initial schedule."""
+        return self.initial_cost - self.refined_cost
+
+
+_LAST_TRAJECTORY: Optional[RefinementTrajectory] = None
+
+
+def last_refinement_trajectory() -> Optional[RefinementTrajectory]:
+    """Trajectory of the most recent refinement run in this process.
+
+    Mirrors :func:`repro.solvers.exhaustive.last_search_telemetry`: the
+    dispatch layer snapshots this before and after a solver run to decide
+    whether the run went through the anytime engine.
+    """
+    return _LAST_TRAJECTORY
+
+
+# --------------------------------------------------------------------------- #
+# budget & replay helpers
+# --------------------------------------------------------------------------- #
+
+
+class _Budget:
+    """Step/wall-clock budget shared by every operator of one refinement run.
+
+    The wall clock is consulted only when ``time_budget_s`` is set, so a
+    pure step budget keeps the whole search clock-independent (and therefore
+    deterministic for a fixed seed).
+    """
+
+    def __init__(self, max_steps: Optional[int], time_budget_s: Optional[float]) -> None:
+        self.max_steps = max_steps
+        self.time_budget_s = time_budget_s
+        self.start = time.perf_counter()
+        self.steps = 0
+
+    def spend(self) -> bool:
+        """Consume one mutation attempt; False once the budget is exhausted."""
+        if self.max_steps is not None and self.steps >= self.max_steps:
+            return False
+        if (
+            self.time_budget_s is not None
+            and time.perf_counter() - self.start > self.time_budget_s
+        ):
+            return False
+        self.steps += 1
+        return True
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.start
+
+
+def _game_of(schedule: Schedule) -> str:
+    return "rbp" if isinstance(schedule, RBPSchedule) else "prbp"
+
+
+def schedule_io_count(schedule: Schedule) -> int:
+    """I/O cost of an *already validated* schedule — just its I/O move count.
+
+    The single definition of "schedule cost without a replay"; the adapter
+    layer uses it to rank seed schedules, and the refinement internals use
+    it on rebuilds that are legal by construction.
+    """
+    return _io_count(schedule.moves)
+
+
+def _io_count(moves: Sequence[Move]) -> int:
+    return sum(1 for mv in moves if mv.is_io)
+
+
+def _replay_cost(
+    dag: ComputationalDAG,
+    r: int,
+    moves: Sequence[Move],
+    variant: GameVariant,
+    game: str,
+) -> Optional[int]:
+    """I/O cost of a candidate move list, or None if it does not replay legally."""
+    try:
+        if game == "rbp":
+            return run_rbp_schedule(dag, r, moves, variant=variant).io_cost
+        return run_prbp_schedule(dag, r, moves, variant=variant).io_cost
+    except PebblingError:
+        return None
+
+
+def _make_schedule(
+    template: Schedule, moves: List[Move], description: str
+) -> Schedule:
+    if isinstance(template, RBPSchedule):
+        return RBPSchedule(
+            template.dag, template.r, moves, variant=template.variant, description=description
+        )
+    return PRBPSchedule(
+        template.dag, template.r, moves, variant=template.variant, description=description
+    )
+
+
+# --------------------------------------------------------------------------- #
+# operator 1: I/O elision
+# --------------------------------------------------------------------------- #
+
+
+def _later_load_positions(moves: Sequence[Move], n: int) -> List[List[int]]:
+    """Per node, the ascending move indices at which it is loaded."""
+    loads: List[List[int]] = [[] for _ in range(n)]
+    for i, mv in enumerate(moves):
+        if mv.kind is MoveKind.LOAD:
+            assert mv.node is not None
+            loads[mv.node].append(i)
+    return loads
+
+
+def _rbp_elision_candidates(
+    dag: ComputationalDAG, r: int, moves: Sequence[RBPMove], variant: GameVariant
+) -> List[Tuple[int, ...]]:
+    """Index tuples whose removal is *plausibly* free I/O (replay decides)."""
+    candidates: List[Tuple[int, ...]] = []
+    loads = _later_load_positions(moves, dag.n)
+    game = RBPGame(dag, r, variant=variant, record_history=False)
+    pending_delete: Dict[int, int] = {}
+    for i, mv in enumerate(moves):
+        v = mv.node
+        if mv.kind is MoveKind.LOAD:
+            if v in game.red:
+                candidates.append((i,))
+            elif v in pending_delete:
+                # delete ... load round trip: the value could have stayed red
+                candidates.append((pending_delete.pop(v), i))
+        elif mv.kind is MoveKind.SAVE:
+            if v in game.blue:
+                candidates.append((i,))
+            elif not dag.is_sink(v) and not any(p > i for p in loads[v]):
+                candidates.append((i,))
+        elif mv.kind is MoveKind.DELETE:
+            pending_delete[v] = i
+        elif mv.kind is MoveKind.COMPUTE:
+            # a (re-)compute rewrites the value; the earlier delete no longer
+            # pairs with a later load of the same content
+            pending_delete.pop(v, None)
+            if mv.slide_from is not None:
+                pending_delete.pop(mv.slide_from, None)
+        game.apply(mv)
+    return candidates
+
+
+def _prbp_elision_candidates(
+    dag: ComputationalDAG, r: int, moves: Sequence[PRBPMove], variant: GameVariant
+) -> List[Tuple[int, ...]]:
+    candidates: List[Tuple[int, ...]] = []
+    loads = _later_load_positions(moves, dag.n)
+    game = PRBPGame(dag, r, variant=variant, record_history=False)
+    pending_delete: Dict[int, int] = {}
+    for i, mv in enumerate(moves):
+        if mv.kind is MoveKind.LOAD:
+            v = mv.node
+            assert v is not None
+            if game.node_state(v) is PRBPState.BLUE_LIGHT_RED:
+                candidates.append((i,))
+            elif v in pending_delete:
+                candidates.append((pending_delete.pop(v), i))
+        elif mv.kind is MoveKind.SAVE:
+            v = mv.node
+            assert v is not None
+            if not dag.is_sink(v) and not any(p > i for p in loads[v]):
+                candidates.append((i,))
+        elif mv.kind is MoveKind.DELETE:
+            v = mv.node
+            assert v is not None
+            if game.node_state(v) is PRBPState.BLUE_LIGHT_RED:
+                pending_delete[v] = i
+            else:
+                pending_delete.pop(v, None)
+        elif mv.kind is MoveKind.COMPUTE:
+            assert mv.edge is not None
+            # the head's value changes, so an earlier delete of it no longer
+            # pairs with a later load of the same content
+            pending_delete.pop(mv.edge[1], None)
+        elif mv.kind is MoveKind.CLEAR:
+            assert mv.node is not None
+            pending_delete.pop(mv.node, None)
+        game.apply(mv)
+    return candidates
+
+
+def _candidate_signature(
+    moves: Sequence[Move], cand: Tuple[int, ...]
+) -> Tuple[Tuple[Move, int], ...]:
+    """Position-independent identity of a candidate: its moves + occurrence ranks.
+
+    Candidate indices shift after every successful removal; the signature
+    survives the shift, so a candidate that failed once (e.g. a round trip
+    whose removal would overflow capacity) is not retried on every sweep —
+    failed retries would otherwise silently drain the step budget.
+    """
+    counts: Dict[Move, int] = {}
+    occ: Dict[int, Tuple[Move, int]] = {}
+    wanted = set(cand)
+    for idx, mv in enumerate(moves):
+        if idx in wanted:
+            occ[idx] = (mv, counts.get(mv, 0))
+        counts[mv] = counts.get(mv, 0) + 1
+    return tuple(occ[idx] for idx in cand)
+
+
+def _elision_pass(
+    dag: ComputationalDAG,
+    r: int,
+    moves: List[Move],
+    cost: int,
+    variant: GameVariant,
+    game: str,
+    budget: _Budget,
+    on_accept: Callable[[List[Move], int], None],
+) -> Tuple[List[Move], int]:
+    """Repeatedly remove free I/O until a fixed point (or budget exhaustion)."""
+    find = _rbp_elision_candidates if game == "rbp" else _prbp_elision_candidates
+    attempted: Set[Tuple[Tuple[Move, int], ...]] = set()
+    for _ in range(_MAX_ELISION_SWEEPS):
+        improved = False
+        for cand in find(dag, r, moves, variant):
+            sig = _candidate_signature(moves, cand)
+            if sig in attempted:
+                continue
+            if not budget.spend():
+                return moves, cost
+            attempted.add(sig)
+            drop = set(cand)
+            trial = [mv for idx, mv in enumerate(moves) if idx not in drop]
+            trial_cost = _replay_cost(dag, r, trial, variant, game)
+            if trial_cost is not None and trial_cost < cost:
+                moves, cost = trial, trial_cost
+                on_accept(moves, cost)
+                improved = True
+                break  # indices shifted; re-derive candidates
+        if not improved:
+            return moves, cost
+    return moves, cost
+
+
+# --------------------------------------------------------------------------- #
+# operator 2/3: realized-order extraction, Belady rebuild, order perturbation
+# --------------------------------------------------------------------------- #
+
+
+def _realized_order(dag: ComputationalDAG, moves: Sequence[Move], game: str) -> List[int]:
+    """The node processing order the schedule actually followed.
+
+    For RBP this is the order of first computes; for PRBP the order in which
+    nodes became fully computed.  Sources are interleaved immediately before
+    their first use, which preserves the locality the Belady rebuild sees.
+    The result is always a topological permutation of all nodes (stragglers
+    — possible only in exotic variants — are appended in DAG order).
+    """
+    order: List[int] = []
+    placed: Set[int] = set()
+
+    def place(v: int) -> None:
+        if v not in placed:
+            placed.add(v)
+            order.append(v)
+
+    if game == "rbp":
+        for mv in moves:
+            if mv.kind is MoveKind.COMPUTE and mv.node not in placed:
+                for u in dag.predecessors(mv.node):
+                    if dag.is_source(u):
+                        place(u)
+                place(mv.node)
+    else:
+        marked_in = [0] * dag.n
+        for mv in moves:
+            if mv.kind is MoveKind.COMPUTE:
+                u, v = mv.edge
+                if dag.is_source(u):
+                    place(u)
+                marked_in[v] += 1
+                if marked_in[v] == dag.in_degree(v):
+                    place(v)
+            elif mv.kind is MoveKind.CLEAR:
+                marked_in[mv.node] = 0
+    for v in dag.topological_order:
+        place(v)
+    return order
+
+
+def _rebuild(
+    dag: ComputationalDAG,
+    r: int,
+    order: Sequence[int],
+    variant: GameVariant,
+    game: str,
+) -> Optional[Tuple[List[Move], int]]:
+    """Greedy Belady pebbling along ``order``; None when the rebuild is infeasible.
+
+    Rebuilt schedules are legal by construction (they are produced through
+    the engine), so their cost is just the I/O move count — no extra replay.
+    """
+    try:
+        if game == "rbp":
+            schedule: Schedule = greedy_rbp_schedule(dag, r, topo_order=order, variant=variant)
+        else:
+            schedule = topological_prbp_schedule(dag, r, topo_order=order, variant=variant)
+    except (PebblingError, ValueError):
+        # SolverError (infeasible r), IllegalMoveError (variant forbids the
+        # builder's delete moves), ValueError (non-topological order after a
+        # clear-variant extraction): all mean "no candidate from this order".
+        return None
+    return list(schedule.moves), _io_count(schedule.moves)
+
+
+def _perturb_order(
+    dag: ComputationalDAG, order: Sequence[int], rng: random.Random
+) -> Optional[List[int]]:
+    """Move one node to a random other position inside its mobility window."""
+    n = len(order)
+    pos = {v: i for i, v in enumerate(order)}
+    for _ in range(8):
+        v = order[rng.randrange(n)]
+        lo = max((pos[u] for u in dag.predecessors(v)), default=-1) + 1
+        hi = min((pos[w] for w in dag.successors(v)), default=n) - 1
+        if hi <= lo:
+            continue
+        target = rng.randint(lo, hi)
+        if target == pos[v]:
+            continue
+        new_order = list(order)
+        new_order.pop(pos[v])
+        # after removal every predecessor keeps its index and every successor
+        # shifts one slot left, so [lo, hi] is exactly the legal insertion range
+        new_order.insert(target, v)
+        return new_order
+    return None
+
+
+def _displace_move(moves: Sequence[Move], rng: random.Random) -> Optional[List[Move]]:
+    """Slide one move to a nearby position (window reordering mutation)."""
+    n = len(moves)
+    if n < 2:
+        return None
+    i = rng.randrange(n)
+    offset = rng.randint(-_REORDER_WINDOW, _REORDER_WINDOW)
+    j = max(0, min(n - 1, i + offset))
+    if i == j:
+        return None
+    new_moves = list(moves)
+    mv = new_moves.pop(i)
+    new_moves.insert(j, mv)
+    return new_moves
+
+
+# --------------------------------------------------------------------------- #
+# the refinement driver
+# --------------------------------------------------------------------------- #
+
+
+def refine_schedule(
+    schedule: Schedule,
+    *,
+    steps: Optional[int] = None,
+    time_budget_s: Optional[float] = None,
+    seed: int = 0,
+    origin: str = "input",
+) -> Tuple[Schedule, RefinementTrajectory]:
+    """Refine a legal schedule under a step and/or wall-clock budget.
+
+    Parameters
+    ----------
+    schedule:
+        A *valid* :class:`RBPSchedule` or :class:`PRBPSchedule`; it is
+        replayed once up front and an illegal input raises immediately.
+    steps:
+        Mutation-attempt budget.  ``None`` means
+        :data:`DEFAULT_REFINE_STEPS`, unless a wall-clock budget is given
+        (then the clock alone bounds the search).  ``0`` disables every
+        operator and returns the input unchanged (with a trajectory).
+    time_budget_s:
+        Optional wall-clock ceiling in seconds.  Results produced under a
+        wall-clock budget are machine-dependent and must not be cached.
+    seed:
+        Seed for the randomized operators; fixing ``(steps, seed)`` makes
+        the result bit-identical across runs and processes.
+    origin:
+        Provenance label recorded in the trajectory (a solver name).
+
+    Returns
+    -------
+    (schedule, trajectory):
+        The refined schedule — never costlier than the input — and the
+        :class:`RefinementTrajectory` describing the run.
+    """
+    global _LAST_TRAJECTORY
+    game = _game_of(schedule)
+    dag, r, variant = schedule.dag, schedule.r, schedule.variant
+
+    initial_cost = _replay_cost(dag, r, schedule.moves, variant, game)
+    if initial_cost is None:
+        raise SolverError(
+            "refine_schedule() requires a legal, complete input schedule; "
+            f"the given {game.upper()} schedule does not replay"
+        )
+
+    if time_budget_s is None and steps is None:
+        steps = DEFAULT_REFINE_STEPS
+    budget = _Budget(steps, time_budget_s)
+    rng = random.Random(seed)
+
+    best_moves: List[Move] = list(schedule.moves)
+    best_cost = initial_cost
+    accepted = 0
+    time_to_best = 0.0
+
+    def on_accept(moves: List[Move], cost: int) -> None:
+        nonlocal best_moves, best_cost, accepted, time_to_best
+        best_moves, best_cost = moves, cost
+        accepted += 1
+        time_to_best = budget.elapsed()
+
+    # deterministic phase 1: strip free I/O from the seed itself
+    best_moves, best_cost = _elision_pass(
+        dag, r, best_moves, best_cost, variant, game, budget, on_accept
+    )
+
+    # deterministic phase 2: eviction re-decision against the realized future
+    if budget.spend():
+        rebuilt = _rebuild(dag, r, _realized_order(dag, best_moves, game), variant, game)
+        if rebuilt is not None and rebuilt[1] < best_cost:
+            on_accept(*rebuilt)
+            best_moves, best_cost = _elision_pass(
+                dag, r, best_moves, best_cost, variant, game, budget, on_accept
+            )
+
+    # randomized phase: order perturbations and window reorderings
+    while budget.spend():
+        if rng.random() < 0.6:
+            order = _perturb_order(dag, _realized_order(dag, best_moves, game), rng)
+            candidate = None if order is None else _rebuild(dag, r, order, variant, game)
+            if candidate is not None and candidate[1] < best_cost:
+                on_accept(*candidate)
+                best_moves, best_cost = _elision_pass(
+                    dag, r, best_moves, best_cost, variant, game, budget, on_accept
+                )
+        else:
+            reordered = _displace_move(best_moves, rng)
+            if reordered is None:
+                continue
+            cost = _replay_cost(dag, r, reordered, variant, game)
+            if cost is None:
+                continue
+            # reordering alone never changes the I/O count — its value is the
+            # round trips it exposes to the elision peephole
+            trial_moves, trial_cost = _elision_pass(
+                dag, r, reordered, cost, variant, game, budget, lambda m, c: None
+            )
+            if trial_cost < best_cost:
+                on_accept(trial_moves, trial_cost)
+
+    description = schedule.description
+    if best_cost < initial_cost:
+        description = f"anytime refinement of {origin} (seed={seed})"
+    refined = _make_schedule(schedule, best_moves, description)
+    trajectory = RefinementTrajectory(
+        initial_cost=initial_cost,
+        refined_cost=best_cost,
+        steps=budget.steps,
+        accepted=accepted,
+        time_to_best_s=time_to_best,
+        wall_time_s=budget.elapsed(),
+        seed=seed,
+        seed_solver=origin,
+    )
+    _LAST_TRAJECTORY = trajectory
+    return refined, trajectory
+
+
+# --------------------------------------------------------------------------- #
+# beam-search constructor
+# --------------------------------------------------------------------------- #
+
+
+def _beam_successor_moves(
+    game_state: Union[RBPGame, PRBPGame], branch: int, rng: random.Random
+) -> List[Move]:
+    """The most promising legal moves of a configuration, at most ``branch``.
+
+    Computes (free progress) come first, then saves, deletes and loads; ties
+    inside a priority class are broken by the seeded RNG so distinct beam
+    runs explore distinct orderings deterministically.
+    """
+    buckets: Dict[int, List[Move]] = {0: [], 1: [], 2: [], 3: []}
+    priority = {
+        MoveKind.COMPUTE: 0,
+        MoveKind.SAVE: 1,
+        MoveKind.DELETE: 2,
+        MoveKind.CLEAR: 2,
+        MoveKind.LOAD: 3,
+    }
+    for mv in game_state.legal_moves():
+        buckets[priority[mv.kind]].append(mv)
+    picked: List[Move] = []
+    for p in (0, 1, 2, 3):
+        bucket = buckets[p]
+        rng.shuffle(bucket)
+        picked.extend(bucket)
+        if len(picked) >= branch:
+            break
+    return picked[:branch]
+
+
+def _config_key(game_state: Union[RBPGame, PRBPGame]) -> Tuple:
+    if isinstance(game_state, RBPGame):
+        return (
+            frozenset(game_state.red),
+            frozenset(game_state.blue),
+            frozenset(game_state.computed),
+        )
+    return (tuple(game_state.state), tuple(game_state.marked))
+
+
+def beam_construct(
+    dag: ComputationalDAG,
+    r: int,
+    game: str,
+    variant: GameVariant,
+    *,
+    upper_bound: int,
+    width: int = 6,
+    branch: int = 6,
+    max_expansions: int = 2000,
+    seed: int = 0,
+) -> Optional[Schedule]:
+    """Beam search over game configurations, pruned by a known upper bound.
+
+    The beam keeps at most ``width`` configurations per depth (deduplicated
+    by configuration, cheapest-first by ``io_cost`` plus the number of sinks
+    still lacking a blue pebble — an admissible completion estimate).  Any
+    state whose cost floor reaches ``upper_bound`` is dropped, so the
+    constructor can only ever return a schedule *strictly cheaper* than the
+    greedy/structured seed it was given; it returns ``None`` when the budget
+    runs out first.
+    """
+    if upper_bound <= 0:
+        return None
+    rng = random.Random(seed)
+    try:
+        start: Union[RBPGame, PRBPGame] = (
+            RBPGame(dag, r, variant=variant)
+            if game == "rbp"
+            else PRBPGame(dag, r, variant=variant)
+        )
+    except ValueError:
+        return None
+
+    def floor(state: Union[RBPGame, PRBPGame]) -> int:
+        missing_sinks = sum(
+            1
+            for v in dag.sinks
+            if (v not in state.blue if game == "rbp" else not state.node_state(v).has_blue)
+        )
+        return state.io_cost + missing_sinks
+
+    beam: List[Union[RBPGame, PRBPGame]] = [start]
+    best: Optional[Schedule] = None
+    best_cost = upper_bound
+    expansions = 0
+    depth_limit = 4 * (dag.n + dag.m) + 8
+    for _ in range(depth_limit):
+        scored: Dict[Tuple, Union[RBPGame, PRBPGame]] = {}
+        for state in beam:
+            for mv in _beam_successor_moves(state, branch, rng):
+                expansions += 1
+                succ = state.copy()
+                try:
+                    succ.apply(mv)
+                except PebblingError:  # pragma: no cover — legal_moves is exact
+                    continue
+                if floor(succ) >= best_cost:
+                    continue
+                if succ.is_terminal():
+                    assert succ.history is not None
+                    moves = list(succ.history)
+                    best_cost = succ.io_cost
+                    best = (
+                        RBPSchedule(dag, r, moves, variant=variant, description="beam search")
+                        if game == "rbp"
+                        else PRBPSchedule(
+                            dag, r, moves, variant=variant, description="beam search"
+                        )
+                    )
+                    continue
+                key = _config_key(succ)
+                kept = scored.get(key)
+                if kept is None or succ.io_cost < kept.io_cost:
+                    scored[key] = succ
+            if expansions >= max_expansions:
+                return best
+        if not scored:
+            break
+        beam = sorted(scored.values(), key=floor)[:width]
+    return best

@@ -24,6 +24,7 @@ from repro.bench import (
     iter_scenarios,
     load_report,
     register_scenario,
+    report_records,
     run_scenario,
     run_suite,
     scenario_groups,
@@ -331,6 +332,50 @@ class TestReport:
         path.write_text(json.dumps({"schema": SCHEMA_NAME, "schema_version": SCHEMA_VERSION}))
         with pytest.raises(ValueError, match="scenarios"):
             load_report(path)
+
+    def test_load_accepts_version_1_baselines(self, tmp_path):
+        # schema 2 added the refine_* fields; v1 documents (which lack them)
+        # must stay loadable so --compare can gate against older baselines
+        path = tmp_path / "v1.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": SCHEMA_NAME,
+                    "schema_version": 1,
+                    "scenarios": [{"scenario": "a", "tier": "quick", "io_cost": 5}],
+                }
+            )
+        )
+        doc = load_report(path)
+        assert doc["schema_version"] == 1
+        assert report_records(doc)[0].get("refine_initial_cost") is None
+
+    def test_records_carry_refinement_trajectory_fields(self):
+        # a scenario whose auto dispatch lands on greedy + refinement
+        record = run_scenario("random-layered-sparse", tier="quick")
+        assert record.error is None
+        assert record.refine_initial_cost is not None
+        assert record.refine_steps is not None and record.refine_steps > 0
+        assert record.io_cost <= record.refine_initial_cost
+        doc = record.to_dict()
+        for key in (
+            "refine_initial_cost",
+            "refine_steps",
+            "refine_accepted",
+            "refine_time_to_best_s",
+        ):
+            assert key in doc
+
+    def test_comparator_tolerates_v1_baseline_against_v2_run(self):
+        baseline = {
+            "schema": SCHEMA_NAME,
+            "schema_version": 1,
+            "scenarios": [_rec("a", cost=10)],
+        }
+        current = _doc([dict(_rec("a", cost=8), refine_initial_cost=10, refine_steps=96)])
+        result = compare_reports(current, baseline)
+        assert result.ok
+        assert any("fell" in note for note in result.improvements)
 
 
 # --------------------------------------------------------------------------- #

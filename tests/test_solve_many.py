@@ -15,6 +15,7 @@ from repro.api import (
     PebblingProblem,
     ResultCache,
     SolveResult,
+    cacheable_options,
     problem_digest,
     solve,
     solve_many,
@@ -94,6 +95,55 @@ class TestSerialEquivalence:
         assert [r.cost for r in results] == [2, 2]
         assert results[0] is results[1]  # one solve, shared outcome
         assert info.digests[0] == info.digests[1] is not None
+
+    def test_parallel_anytime_matches_serial_loop_with_trajectories(self):
+        # the anytime pass runs inside the workers; with a fixed seed the
+        # refined schedules AND their trajectory stats must be identical to
+        # a serial solve() loop (wall-clock fields excepted, of course)
+        problems = [
+            PebblingProblem(
+                random_layered_dag((6, 8, 8, 6, 4), 0.3, 4, s), r=6, game="prbp"
+            )
+            for s in (0, 1)
+        ] + [
+            PebblingProblem(
+                random_layered_dag((6, 8, 8, 6, 4), 0.3, 4, 3), r=6, game="rbp"
+            )
+        ]
+        serial = [solve(p, seed=5, refine_steps=64) for p in problems]
+        batch = solve_many(problems, jobs=2, seed=5, refine_steps=64)
+        _assert_identical(batch, serial)
+        for got, want in zip(batch, serial):
+            t_got = got.solve_stats.refinement
+            t_want = want.solve_stats.refinement
+            assert t_got is not None and t_want is not None
+            assert (
+                t_got.initial_cost,
+                t_got.refined_cost,
+                t_got.steps,
+                t_got.accepted,
+                t_got.seed,
+                t_got.seed_solver,
+            ) == (
+                t_want.initial_cost,
+                t_want.refined_cost,
+                t_want.steps,
+                t_want.accepted,
+                t_want.seed,
+                t_want.seed_solver,
+            )
+            assert t_got.refined_cost == got.cost <= t_got.initial_cost
+
+    def test_anytime_solver_parallel_matches_serial(self):
+        problems = [
+            PebblingProblem(
+                random_layered_dag((6, 8, 8, 6, 4), 0.35, 4, s), r=6, game="prbp"
+            )
+            for s in (7, 8)
+        ]
+        serial = [solve(p, solver="anytime", seed=2, refine_steps=48) for p in problems]
+        batch = solve_many(problems, solver="anytime", jobs=2, seed=2, refine_steps=48)
+        _assert_identical(batch, serial)
 
     def test_per_problem_solvers(self):
         problems = [
@@ -209,10 +259,92 @@ class TestDigest:
             problem_digest(base.with_game("rbp")),
             problem_digest(base, solver="greedy"),
             problem_digest(base, options={"budget": 10}),
+            problem_digest(base, options={"seed": 1}),
+            problem_digest(base, options={"seed": 2}),
+            problem_digest(base, options={"refine_steps": 32}),
             problem_digest(PebblingProblem(kary_tree_dag(2, 2), r=4, game="prbp")),
         ]
         digests = [problem_digest(base)] + variants
         assert len(set(digests)) == len(digests)
+
+    def test_wall_clock_budget_never_enters_the_digest(self):
+        # a wall-clock budget does not deterministically identify a result,
+        # so two different budgets (or none) must share a digest — and the
+        # batch layer must therefore refuse to cache such solves at all
+        base = PebblingProblem(figure1_gadget(), r=4, game="prbp")
+        assert (
+            problem_digest(base)
+            == problem_digest(base, options={"time_budget_s": 0.5})
+            == problem_digest(base, options={"time_budget_s": 2.0})
+            == problem_digest(base, options={"time_budget_s": None})
+        )
+
+    def test_cacheable_options_flags_wall_clock_budgets(self):
+        assert cacheable_options(None)
+        assert cacheable_options({})
+        assert cacheable_options({"seed": 3, "refine_steps": 64, "budget": 100})
+        assert cacheable_options({"time_budget_s": None})
+        assert not cacheable_options({"time_budget_s": 0.5})
+
+
+class TestWallClockBudgetCachePolicy:
+    """Wall-clock budgets share digests by design; the cache must sit out.
+
+    The corruption-style scenario: a cache primed by a budget-free run holds
+    an entry under the exact digest a time-budgeted run would compute.
+    Serving it would answer "solve within 0.01s" with a result produced
+    under no budget at all — a false hit on cost-bearing fields — so the
+    batch layer must bypass the cache in both directions.
+    """
+
+    def _problem(self):
+        return PebblingProblem(
+            random_layered_dag((6, 8, 8, 6, 4), 0.3, 4, 0), r=6, game="prbp"
+        )
+
+    def test_primed_entry_is_not_served_to_a_time_budgeted_solve(self, tmp_path):
+        problem = self._problem()
+        cache = ResultCache(directory=tmp_path)
+        [primed] = solve_many([problem], cache=cache, seed=0)
+        assert cache.stats.stores == 1
+        cache2 = ResultCache(directory=tmp_path)
+        [fresh] = solve_many(
+            [problem], cache=cache2, seed=0, refine_steps=32, time_budget_s=5.0
+        )
+        assert cache2.stats.hits == 0  # the lookup was skipped, not missed
+        assert isinstance(fresh, SolveResult)
+        assert fresh.cost <= primed.solve_stats.refinement.initial_cost
+
+    def test_time_budgeted_results_are_never_stored(self, tmp_path):
+        problem = self._problem()
+        cache = ResultCache(directory=tmp_path)
+        solve_many([problem], cache=cache, seed=0, refine_steps=32, time_budget_s=5.0)
+        assert cache.stats.stores == 0
+        # and a later budget-free run computes fresh instead of hitting
+        solve_many([problem], cache=cache, seed=0)
+        assert cache.stats.hits == 0
+        assert cache.stats.stores == 1
+
+    def test_time_budgeted_duplicates_are_not_deduped(self):
+        problem = self._problem()
+        results, info = solve_many_detailed(
+            [problem, problem], seed=0, refine_steps=32, time_budget_s=5.0
+        )
+        assert info.digests[0] == info.digests[1]
+        # same digest, but each position was solved independently
+        assert results[0] is not results[1]
+        assert results[0].cost == results[1].cost  # step-bounded, so deterministic
+
+    def test_per_problem_wall_clock_budget_only_exempts_that_problem(self, tmp_path):
+        problems = [self._problem(), self._problem().with_r(7)]
+        cache = ResultCache(directory=tmp_path)
+        solve_many(
+            problems,
+            cache=cache,
+            seed=0,
+            per_problem_options=[{"refine_steps": 32, "time_budget_s": 5.0}, {}],
+        )
+        assert cache.stats.stores == 1  # only the budget-free problem
 
 
 class TestTimeout:
