@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The solve service end to end: daemon, clients, streamed anytime progress.
+
+Starts a :class:`repro.service.SolveService` in-process on an ephemeral
+port, then talks to it exactly the way an external client would — over TCP,
+through :class:`repro.service.ServiceClient`:
+
+1. a **blocking solve** of a chained-gadget RBP instance, repeated once to
+   show the second request answered from the shared result cache;
+2. a **streamed anytime solve** of the same instance under a refinement
+   budget — the server pushes every improving schedule cost the moment the
+   refiner accepts it, and the script prints the trajectory as it arrives;
+3. a **fire-and-forget** submission polled to completion by job id;
+4. the server's own counters (admissions, cache answers, streamed events),
+   followed by a graceful draining shutdown.
+
+Run with:  python examples/service_demo.py
+
+Against a long-running daemon the same client calls work unchanged — start
+one with ``python -m repro.service serve --port 7421`` (or ``repro-serve``)
+and point :meth:`ServiceClient.connect` at it.
+"""
+
+import asyncio
+
+from repro import PebblingProblem, chained_gadget_dag
+from repro.service import ProgressEvent, ServiceClient, ServiceConfig, SolveService
+
+
+def make_problem() -> PebblingProblem:
+    """Chained RBP: greedy seeds far from optimal, so refinement has room."""
+    return PebblingProblem(chained_gadget_dag(16), r=4, game="rbp")
+
+
+async def main() -> None:
+    service = SolveService(ServiceConfig(port=0, workers=2))
+    await service.start()
+    host, port = service.address
+    print(f"service listening on {host}:{port}\n")
+
+    problem = make_problem()
+    async with await ServiceClient.connect(host, port) as client:
+        # 1. blocking solve, then the cache answering the repeat
+        result, meta = await client.solve_detailed(problem)
+        print(f"blocking solve:  cost {result.cost}  (solver: {result.solver})")
+        result, meta = await client.solve_detailed(problem)
+        print(f"repeat request:  cost {result.cost}  cache_hit={meta['cache_hit']}\n")
+
+        # 2. streamed anytime progress: the refiner's improving schedules
+        #    arrive as events while the solve is still running
+        print("streamed anytime solve (cost, time the refiner found it):")
+
+        def show(event: ProgressEvent) -> None:
+            print(f"   cost {event.cost:4d}  at {event.elapsed_s * 1000:7.2f} ms")
+
+        final, events = await client.solve_stream(
+            problem, on_progress=show, refine_steps=192, seed=0
+        )
+        improvements = sum(1 for a, b in zip(events, events[1:]) if b.cost < a.cost)
+        print(
+            f"   -> {len(events)} events, {improvements} strict improvements, "
+            f"final cost {final.cost}\n"
+        )
+
+        # 3. fire-and-forget: a job id now, the result when we ask for it
+        bigger = PebblingProblem(chained_gadget_dag(24), r=4, game="rbp")
+        job_id = await client.submit(bigger)
+        print(f"submitted {job_id}; polling...")
+        state, _ = await client.poll(job_id)
+        print(f"   state while queued/running: {state}")
+        result = await client.wait(job_id, bigger)
+        print(f"   finished: cost {result.cost}\n")
+
+        # 4. the server's own view of all of the above
+        stats = await client.stats()
+        jobs = stats["jobs"]
+        print(
+            f"server counters: {jobs['admitted']} admitted, "
+            f"{jobs['cache_answers']} cache answers, "
+            f"{stats['streamed_events']} streamed events, "
+            f"pool mode {stats['pool']['mode']}"
+        )
+
+    await service.shutdown(drain=True)
+    print("service drained and stopped")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

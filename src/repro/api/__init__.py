@@ -23,6 +23,8 @@ from ..solvers.anytime import RefinementTrajectory, refine_schedule
 from .batch import BatchInfo, solve_many, solve_many_detailed
 from .bounds import best_lower_bound
 from .cache import (
+    EPHEMERAL_OPTIONS,
+    WALL_CLOCK_OPTIONS,
     CacheStats,
     ResultCache,
     cacheable_options,
@@ -62,6 +64,8 @@ __all__ = [
     "BatchInfo",
     "ResultCache",
     "CacheStats",
+    "EPHEMERAL_OPTIONS",
+    "WALL_CLOCK_OPTIONS",
     "RefinementTrajectory",
     "refine_schedule",
     "problem_digest",

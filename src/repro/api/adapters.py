@@ -179,12 +179,14 @@ def _anytime(problem: PebblingProblem, **options: object) -> Schedule:
 
     steps = options.get("refine_steps", options.get("budget"))
     time_budget_s = options.get("time_budget_s")
+    on_progress = options.get("on_progress")
     refined, _trajectory = refine_schedule(
         best,
         steps=None if steps is None else int(steps),
         time_budget_s=None if time_budget_s is None else float(time_budget_s),
         seed=rng_seed,
         origin=origin,
+        on_improve=on_progress if callable(on_progress) else None,
     )
     return refined
 

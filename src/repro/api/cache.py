@@ -44,6 +44,7 @@ from .result import SolveResult
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
+    "EPHEMERAL_OPTIONS",
     "WALL_CLOCK_OPTIONS",
     "CacheStats",
     "ResultCache",
@@ -63,6 +64,13 @@ CACHE_FORMAT_VERSION = 2
 #: fields.  For the same reason a solve carrying an active wall-clock budget
 #: is excluded from caching altogether (see :func:`cacheable_options`).
 WALL_CLOCK_OPTIONS = frozenset({"time_budget_s"})
+
+#: Observer-only options that cannot influence the *result* of a solve.
+#: ``on_progress`` is a callback receiving anytime-progress events; two
+#: solves differing only in it return identical results, so it enters
+#: neither the digest nor the cacheability decision (its ``repr`` is also a
+#: memory address, which would make every digest spuriously unique).
+EPHEMERAL_OPTIONS = frozenset({"on_progress"})
 
 
 def cacheable_options(options: Optional[Mapping[str, object]]) -> bool:
@@ -125,7 +133,7 @@ def problem_digest(
     digested = {
         key: value
         for key, value in (options or {}).items()
-        if key not in WALL_CLOCK_OPTIONS
+        if key not in WALL_CLOCK_OPTIONS and key not in EPHEMERAL_OPTIONS
     }
     h = hashlib.sha256()
     h.update(
@@ -155,6 +163,7 @@ class CacheStats:
     stores: int = 0
     corrupt: int = 0
     io_errors: int = 0
+    evicted: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -163,6 +172,7 @@ class CacheStats:
             "stores": self.stores,
             "corrupt": self.corrupt,
             "io_errors": self.io_errors,
+            "evicted": self.evicted,
         }
 
 
@@ -177,6 +187,15 @@ class ResultCache:
         Created on first write.
     max_memory_entries:
         Bound on the in-memory LRU (oldest entries are evicted first).
+    max_disk_bytes:
+        Optional cap on the total size of the on-disk tier.  After every
+        disk write the store is pruned *oldest-first* (by modification
+        time — i.e. write order) until it fits under the cap — the policy
+        a long-running daemon needs, since the disk tier otherwise grows
+        one pickle per distinct problem forever.
+        ``None`` (the default) keeps the historical unbounded behaviour.
+        A cap smaller than a single entry prunes that entry too: the cache
+        degrades to memory-only rather than overshooting its budget.
     validate:
         When True (default), a disk entry's schedule is replayed through the
         game engine before being served and its cost is compared against the
@@ -187,6 +206,7 @@ class ResultCache:
 
     directory: Optional[Union[str, Path]] = None
     max_memory_entries: int = 1024
+    max_disk_bytes: Optional[int] = None
     validate: bool = True
     stats: CacheStats = field(default_factory=CacheStats)
 
@@ -196,6 +216,10 @@ class ResultCache:
             # reaches the home cache instead of creating a literal "~" dir
             self.directory = Path(self.directory).expanduser()
         self._memory: "OrderedDict[str, SolveResult]" = OrderedDict()
+        #: Running size of the disk tier, maintained incrementally so a
+        #: capped put() does not rescan the whole store; ``None`` = not yet
+        #: measured (first capped write pays one full scan).
+        self._disk_total: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # lookup
@@ -236,6 +260,12 @@ class ResultCache:
                 {"digest": digest, "result": result}, protocol=pickle.HIGHEST_PROTOCOL
             )
             checksum = hashlib.sha256(payload).hexdigest().encode("ascii")
+            replaced_size = 0
+            if self.max_disk_bytes is not None:
+                try:
+                    replaced_size = path.stat().st_size  # overwriting an entry
+                except OSError:
+                    replaced_size = 0
             fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".pkl")
             try:
                 with os.fdopen(fd, "wb") as fh:
@@ -247,12 +277,23 @@ class ResultCache:
                 except OSError:
                     pass
                 raise
+            if self.max_disk_bytes is not None:
+                # keep a running total so the common under-cap put() costs
+                # two stat() calls, not a scan of the whole store
+                written = len(checksum) + 1 + len(payload)
+                if self._disk_total is None:
+                    self._disk_total = self.disk_bytes()
+                else:
+                    self._disk_total += written - replaced_size
+                if self._disk_total > int(self.max_disk_bytes):
+                    self._prune_disk(int(self.max_disk_bytes))
         except (OSError, pickle.PicklingError):
             self.stats.io_errors += 1  # a cache that cannot write is still a cache
 
     def clear(self) -> None:
         """Drop every memory entry and delete every disk entry."""
         self._memory.clear()
+        self._disk_total = None  # remeasure lazily after the deletions
         if self.directory is None:
             return
         root = Path(self.directory)
@@ -269,6 +310,10 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._memory)
 
+    def disk_bytes(self) -> int:
+        """Total size of the on-disk tier in bytes (0 for a memory-only cache)."""
+        return sum(size for _, size, _ in self._disk_entries())
+
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
@@ -282,9 +327,63 @@ class ResultCache:
         while len(self._memory) > self.max_memory_entries:
             self._memory.popitem(last=False)
 
+    def _disk_entries(self) -> "list[tuple[float, int, Path]]":
+        """Every on-disk entry as ``(mtime, size, path)``; missing dir -> empty.
+
+        Only ``<2-hex-chars>/<digest>.pkl`` files count — in-flight ``.tmp-*``
+        writes and foreign files sharing the directory are never touched.
+        """
+        if self.directory is None:
+            return []
+        root = Path(self.directory)
+        entries: "list[tuple[float, int, Path]]" = []
+        try:
+            subdirs = [sub for sub in root.iterdir() if sub.is_dir() and len(sub.name) == 2]
+        except OSError:
+            return []
+        for sub in subdirs:
+            try:
+                for entry in sub.glob("*.pkl"):
+                    if entry.name.startswith(".tmp-"):
+                        continue
+                    try:
+                        stat = entry.stat()
+                    except OSError:
+                        continue  # raced with a concurrent prune/clear
+                    entries.append((stat.st_mtime, stat.st_size, entry))
+            except OSError:
+                continue
+        return entries
+
+    def _prune_disk(self, max_disk_bytes: int) -> None:
+        """Delete oldest-first until the disk tier fits under the cap.
+
+        Scans the store once (the scan is also the authoritative recount —
+        the incremental total in :meth:`put` can drift if another process
+        shares the directory) and leaves ``_disk_total`` exact.
+        """
+        entries = self._disk_entries()
+        total = sum(size for _, size, _ in entries)
+        # mtime ascending = write order; path breaks same-second ties stably
+        for _, size, path in sorted(entries, key=lambda e: (e[0], str(e[2]))):
+            if total <= max_disk_bytes:
+                break
+            try:
+                path.unlink()
+                self.stats.evicted += 1
+                total -= size
+            except OSError:
+                self.stats.io_errors += 1
+        self._disk_total = total
+
     def _discard_corrupt(self, path: Path) -> None:
         self.stats.corrupt += 1
         try:
+            if self._disk_total is not None:
+                try:
+                    self._disk_total -= path.stat().st_size
+                except OSError:
+                    pass
             path.unlink()
         except OSError:
             self.stats.io_errors += 1

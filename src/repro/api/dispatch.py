@@ -137,6 +137,7 @@ def _apply_refinement(result: SolveResult, **options: object) -> SolveResult:
     if not explicit and result.problem.n > GREEDY_COMPARISON_NODE_LIMIT:
         return result
     seed = int(options.get("seed") or 0)
+    on_progress = options.get("on_progress")
 
     start = time.perf_counter()
     refined, trajectory = refine_schedule(
@@ -145,6 +146,7 @@ def _apply_refinement(result: SolveResult, **options: object) -> SolveResult:
         time_budget_s=None if time_budget_s is None else float(time_budget_s),
         seed=seed,
         origin=result.solver,
+        on_improve=on_progress if callable(on_progress) else None,
     )
     extra = time.perf_counter() - start
 
@@ -273,7 +275,11 @@ def solve(
         Forwarded to the solver callable (solver-specific knobs).  The
         refinement pass reads ``refine_steps`` (mutation-attempt budget),
         ``time_budget_s`` (wall-clock ceiling — results under one are not
-        cacheable) and ``refine=False`` (disable the pass).
+        cacheable) and ``refine=False`` (disable the pass).  ``on_progress``
+        (a callable ``(cost, elapsed_s) -> None``) receives anytime-progress
+        events from the refinement engine — the seed cost, then every
+        accepted improvement; it never changes the returned result and is
+        excluded from cache digests (:data:`repro.api.cache.EPHEMERAL_OPTIONS`).
 
     Raises
     ------

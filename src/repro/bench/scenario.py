@@ -25,6 +25,7 @@ __all__ = [
     "register_scenario",
     "unregister_scenario",
     "get_scenario",
+    "materialize_scenario",
     "iter_scenarios",
     "scenario_names",
     "scenario_groups",
@@ -189,6 +190,24 @@ def get_scenario(name: str) -> BenchScenario:
     except KeyError:
         known = ", ".join(sorted(_REGISTRY)) or "<none>"
         raise KeyError(f"unknown scenario {name!r}; registered scenarios: {known}") from None
+
+
+def materialize_scenario(
+    name: str, tier: str = "quick"
+) -> Tuple[PebblingProblem, str, Dict[str, object]]:
+    """Resolve a registered scenario into ``(problem, solver, options)``.
+
+    The triple is exactly what :func:`repro.api.solve` takes, which makes
+    this the one helper every scenario *consumer* outside the runner needs
+    — the service CLI and the service bench pose registry workloads through
+    it.  Importing here also registers the built-in scenarios, so callers
+    see the populated registry without knowing about
+    :mod:`repro.bench.scenarios`.
+    """
+    from . import scenarios as _register  # noqa: F401  (import populates the registry)
+
+    scenario = get_scenario(name)
+    return scenario.build_problem(tier), scenario.solver, dict(scenario.solve_options)
 
 
 def iter_scenarios(

@@ -1,0 +1,321 @@
+"""``python -m repro.service`` / ``repro-serve`` — run and talk to the daemon.
+
+Subcommands:
+
+* ``serve`` — run a service in the foreground (SIGINT/SIGTERM drain
+  gracefully); prints ``listening on HOST:PORT`` once bound, so wrappers
+  can scrape the ephemeral port when started with ``--port 0``.
+* ``solve`` — pose one benchmark-registry scenario to a running server;
+  ``--stream`` prints the anytime-progress events as they arrive.
+* ``ping`` / ``stats`` / ``shutdown`` — client one-liners for operations.
+* ``smoke`` — self-contained end-to-end check (used by CI): starts an
+  in-process server on an ephemeral port, solves scenarios through the TCP
+  client, verifies the answers are bit-identical to local ``solve()``
+  calls, re-requests them asserting shared-cache hits, streams one anytime
+  solve asserting ≥ 2 improving cost events, then drains and shuts down.
+
+Exit codes: 0 on success; 1 on any failure (including smoke assertions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import signal
+import sys
+import tempfile
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..api import PebblingProblem, solve
+from .client import ProgressEvent, ServiceClient
+from .server import ServiceConfig, SolveService
+
+__all__ = ["main"]
+
+#: Scenarios the smoke test pushes through the service (quick tier).
+SMOKE_SCENARIOS = ("tree-prbp-critical", "fft-blocked-prbp", "chained-prbp-constant")
+
+#: Scenario streamed in the smoke test; its greedy seed leaves the anytime
+#: refiner plenty of accepted improvements at this step budget.
+SMOKE_STREAM_SCENARIO = "chained-rbp-greedy"
+SMOKE_STREAM_OPTIONS = {"refine_steps": 192, "seed": 0}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Run the repro-prbp solve service, or talk to a running one.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run a solve service in the foreground")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7421, help="0 binds an ephemeral port")
+    serve.add_argument("--workers", type=int, default=2, metavar="N")
+    serve.add_argument("--max-pending", type=int, default=256, metavar="N")
+    serve.add_argument(
+        "--cache-dir", metavar="PATH", help="disk tier of the shared result cache"
+    )
+    serve.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="keep the shared cache memory-only (ignores --cache-dir)",
+    )
+    serve.add_argument(
+        "--max-disk-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="cap the cache's disk tier; oldest entries are pruned first",
+    )
+    serve.add_argument(
+        "--no-processes",
+        action="store_true",
+        help="solve in threads instead of worker processes",
+    )
+
+    for name, help_text in (
+        ("ping", "round-trip liveness check"),
+        ("stats", "print the server's counters as json"),
+        ("shutdown", "ask the server to drain and stop"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--host", default="127.0.0.1")
+        cmd.add_argument("--port", type=int, default=7421)
+        if name == "shutdown":
+            cmd.add_argument(
+                "--no-drain", action="store_true", help="abort queued jobs instead of finishing them"
+            )
+
+    solve_cmd = sub.add_parser("solve", help="solve one bench-registry scenario remotely")
+    solve_cmd.add_argument("--host", default="127.0.0.1")
+    solve_cmd.add_argument("--port", type=int, default=7421)
+    solve_cmd.add_argument("--scenario", required=True, metavar="NAME")
+    solve_cmd.add_argument("--tier", choices=("quick", "full"), default="quick")
+    solve_cmd.add_argument("--solver", default=None, help="override the scenario's solver")
+    solve_cmd.add_argument(
+        "--stream", action="store_true", help="print anytime-progress events as they arrive"
+    )
+
+    smoke = sub.add_parser("smoke", help="self-contained end-to-end service check (CI)")
+    smoke.add_argument("--workers", type=int, default=2, metavar="N")
+    smoke.add_argument(
+        "--no-processes", action="store_true", help="force the thread worker path"
+    )
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# serve
+# --------------------------------------------------------------------------- #
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        cache_dir=None if args.no_disk_cache else args.cache_dir,
+        max_disk_bytes=args.max_disk_bytes,
+        prefer_processes=not args.no_processes,
+    )
+
+    async def run() -> None:
+        service = SolveService(config)
+        await service.start()
+        host, port = service.address
+        print(f"repro-serve listening on {host}:{port}", flush=True)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):  # e.g. Windows event loops
+                loop.add_signal_handler(sig, service.request_shutdown)
+        await service.serve_forever()
+        print("repro-serve: drained and stopped", flush=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# client one-liners
+# --------------------------------------------------------------------------- #
+
+
+def _cmd_ping(args: argparse.Namespace) -> int:
+    async def run() -> int:
+        async with await ServiceClient.connect(args.host, args.port) as client:
+            doc = await client.ping()
+            print(f"pong (protocol v{doc.get('protocol_version')})")
+        return 0
+
+    return asyncio.run(run())
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    async def run() -> int:
+        async with await ServiceClient.connect(args.host, args.port) as client:
+            print(json.dumps(await client.stats(), indent=2, sort_keys=True))
+        return 0
+
+    return asyncio.run(run())
+
+
+def _cmd_shutdown(args: argparse.Namespace) -> int:
+    async def run() -> int:
+        async with await ServiceClient.connect(args.host, args.port) as client:
+            await client.shutdown_server(drain=not args.no_drain)
+            print("shutdown requested" + (" (drain)" if not args.no_drain else " (abort queued)"))
+        return 0
+
+    return asyncio.run(run())
+
+
+def _scenario_problem(name: str, tier: str) -> Tuple[PebblingProblem, str, Dict[str, Any]]:
+    """Materialize a bench-registry scenario into (problem, solver, options)."""
+    from ..bench.scenario import materialize_scenario
+
+    return materialize_scenario(name, tier)
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    problem, solver, options = _scenario_problem(args.scenario, args.tier)
+    if args.solver is not None:
+        solver = args.solver
+
+    async def run() -> int:
+        async with await ServiceClient.connect(args.host, args.port) as client:
+            if args.stream:
+
+                def show(event: ProgressEvent) -> None:
+                    print(f"  anytime cost {event.cost} at {event.elapsed_s * 1000:.1f} ms", flush=True)
+
+                result, events = await client.solve_stream(
+                    problem, solver, on_progress=show, **options
+                )
+                print(f"{len(events)} progress events")
+            else:
+                result, meta = await client.solve_detailed(problem, solver, **options)
+                if meta["cache_hit"]:
+                    print("(answered from the shared cache)")
+            print(result.describe())
+        return 0
+
+    return asyncio.run(run())
+
+
+# --------------------------------------------------------------------------- #
+# smoke
+# --------------------------------------------------------------------------- #
+
+
+def _check(condition: bool, message: str, failures: List[str]) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {message}")
+    if not condition:
+        failures.append(message)
+
+
+async def _smoke(workers: int, prefer_processes: bool) -> int:
+    failures: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as cache_dir:
+        service = SolveService(
+            ServiceConfig(
+                port=0,
+                workers=workers,
+                cache_dir=cache_dir,
+                prefer_processes=prefer_processes,
+            )
+        )
+        await service.start()
+        host, port = service.address
+        print(f"smoke: server on {host}:{port} (pool mode: {service.stats()['pool']['mode']})")
+
+        async with await ServiceClient.connect(host, port) as client:
+            await client.ping()
+
+            # 1. three scenarios through the TCP client, checked against local solves
+            workload = [(name, *_scenario_problem(name, "quick")) for name in SMOKE_SCENARIOS]
+            for name, problem, solver, options in workload:
+                local = solve(problem, solver=solver, **options)
+                remote, meta = await client.solve_detailed(problem, solver, **options)
+                _check(
+                    remote.cost == local.cost
+                    and remote.solver == local.solver
+                    and remote.schedule.moves == local.schedule.moves,
+                    f"{name}: remote result bit-identical to local solve (cost {remote.cost})",
+                    failures,
+                )
+                _check(not meta["cache_hit"], f"{name}: first request was a fresh solve", failures)
+
+            # 2. repeats answered from the shared cache
+            for name, problem, solver, options in workload:
+                _, meta = await client.solve_detailed(problem, solver, **options)
+                _check(meta["cache_hit"], f"{name}: repeat answered from the shared cache", failures)
+            stats = await client.stats()
+            hits = stats["jobs"]["cache_answers"]
+            _check(
+                hits >= len(workload),
+                f"cache answered {hits} repeat request(s) (counter from server stats)",
+                failures,
+            )
+
+            # 3. streamed anytime progress: monotonically improving costs
+            problem, solver, _ = _scenario_problem(SMOKE_STREAM_SCENARIO, "quick")
+            result, events = await client.solve_stream(
+                problem, solver, **SMOKE_STREAM_OPTIONS
+            )
+            costs = [event.cost for event in events]
+            improving = [c for prev, c in zip(costs, costs[1:]) if c < prev]
+            _check(
+                len(events) >= 3 and len(improving) >= 2,
+                f"streamed solve pushed {len(events)} events, {len(improving)} strict improvements "
+                f"({costs[0] if costs else '-'} -> {result.cost})",
+                failures,
+            )
+            _check(
+                costs == sorted(costs, reverse=True) and (not costs or costs[-1] == result.cost),
+                "streamed costs are monotone and end at the final result",
+                failures,
+            )
+
+            # 4. graceful shutdown drains cleanly
+            await client.shutdown_server(drain=True)
+        await service.wait_closed()
+        print("smoke: server drained and closed")
+
+    if failures:
+        print(f"smoke: {len(failures)} check(s) FAILED", file=sys.stderr)
+        return 1
+    print("smoke: all checks passed")
+    return 0
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    return asyncio.run(_smoke(args.workers, prefer_processes=not args.no_processes))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "serve": _cmd_serve,
+        "ping": _cmd_ping,
+        "stats": _cmd_stats,
+        "shutdown": _cmd_shutdown,
+        "solve": _cmd_solve,
+        "smoke": _cmd_smoke,
+    }
+    try:
+        return handlers[args.command](args)
+    except ConnectionRefusedError:
+        print("error: no service is listening on the given host/port", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,246 @@
+"""Admission layer of the solve service: bounded priority queue + job objects.
+
+Admission is where a running daemon differs from a batch run: requests
+arrive faster than solves finish, so *something* must decide what waits,
+what runs next, and what gets turned away.  The policy here:
+
+* **bounded** — at most ``max_pending`` jobs wait; past that, :meth:`AdmissionQueue.offer`
+  raises :class:`QueueFull` and the server answers ``queue-full`` instead
+  of accumulating unbounded memory (the caller can back off and retry);
+* **priority-ordered** — higher ``priority`` dequeues first; ties dequeue
+  in arrival order, so equal-priority traffic is FIFO and starvation-free;
+* **deadline-aware** — a job whose ``deadline`` (event-loop time) passes
+  while it waits is *expired* at dequeue: its future fails with
+  :class:`DeadlineExceeded` and no solver time is spent on an answer
+  nobody is waiting for anymore.
+
+Jobs also carry the machinery the server's dedup and streaming need: an
+``asyncio.Future`` every interested request awaits (in-flight dedup makes
+several requests share one job), and a list of subscriber queues that
+receive anytime-progress events for streamed solves.
+
+Everything here is event-loop-thread only — not thread-safe, by design.
+The worker bridge hops back onto the loop before touching job state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Deque, Dict, List, Optional
+
+from ..api.problem import PebblingProblem
+
+__all__ = [
+    "AdmissionQueue",
+    "DeadlineExceeded",
+    "JobState",
+    "QueueClosed",
+    "QueueFull",
+    "ServiceJob",
+]
+
+
+class QueueFull(Exception):
+    """The admission queue is at capacity; the request must be turned away."""
+
+
+class QueueClosed(Exception):
+    """The service is shutting down; no new jobs are admitted."""
+
+
+class DeadlineExceeded(Exception):
+    """A job's admission deadline passed before a worker picked it up."""
+
+
+class JobState(str, Enum):
+    """Lifecycle of one admitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    EXPIRED = "expired"
+
+
+#: Sentinel pushed to subscriber queues after the terminal event.
+STREAM_END = None
+
+
+def _retrieve_exception(future: "asyncio.Future[Any]") -> None:
+    if not future.cancelled():
+        future.exception()  # mark retrieved; awaiters still re-raise normally
+
+
+@dataclass
+class ServiceJob:
+    """One admitted solve: the problem plus all its bookkeeping.
+
+    ``future`` resolves to the :class:`~repro.api.result.SolveResult` (or
+    fails with the solver/deadline error); it may be awaited by any number
+    of requests — that is what in-flight dedup shares.  ``subscribers``
+    holds one ``asyncio.Queue`` per streaming request attached to this job;
+    :meth:`publish` fans an event out to all of them.
+    """
+
+    job_id: str
+    problem: PebblingProblem
+    solver: str
+    options: Dict[str, Any]
+    digest: str
+    cacheable: bool = True
+    stream: bool = False
+    priority: int = 0
+    #: Absolute event-loop time after which the job must not start; None = no deadline.
+    deadline: Optional[float] = None
+    state: JobState = JobState.QUEUED
+    enqueued_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: How many requests beyond the first were answered by this same job.
+    shared: int = 0
+    future: "asyncio.Future[Any]" = field(
+        default_factory=lambda: asyncio.get_running_loop().create_future()
+    )
+    subscribers: List["asyncio.Queue[Optional[Dict[str, Any]]]"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # A job nobody awaits (fire-and-forget via poll) must not warn about
+        # a never-retrieved exception when its solve fails.
+        self.future.add_done_callback(_retrieve_exception)
+
+    def subscribe(self) -> "asyncio.Queue[Optional[Dict[str, Any]]]":
+        """Attach a progress listener; call before the job starts running."""
+        queue: "asyncio.Queue[Optional[Dict[str, Any]]]" = asyncio.Queue()
+        self.subscribers.append(queue)
+        return queue
+
+    def publish(self, event: Dict[str, Any]) -> None:
+        """Fan one progress event out to every subscriber (never blocks)."""
+        for queue in self.subscribers:
+            queue.put_nowait(dict(event))
+
+    def finish_stream(self) -> None:
+        """Signal end-of-stream to every subscriber."""
+        for queue in self.subscribers:
+            queue.put_nowait(STREAM_END)
+
+    @property
+    def done(self) -> bool:
+        return self.state in (JobState.DONE, JobState.FAILED, JobState.EXPIRED)
+
+
+class AdmissionQueue:
+    """Bounded, priority-ordered, deadline-aware queue of pending jobs."""
+
+    def __init__(self, max_pending: int = 256) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = max_pending
+        self._heap: List[Any] = []  # (-priority, seq, job)
+        self._seq = itertools.count()
+        self._closed = False
+        self._waiters: Deque["asyncio.Future[None]"] = deque()
+        #: Jobs expired while waiting (observability counter).
+        self.expired = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def depth(self) -> int:
+        """Number of jobs currently waiting."""
+        return len(self._heap)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def offer(self, job: ServiceJob) -> None:
+        """Admit a job or raise :class:`QueueFull` / :class:`QueueClosed`.
+
+        Synchronous on purpose: admission must answer *immediately* (reject
+        or enqueue) — an admission path that itself blocks under load is
+        just a second, invisible queue.
+        """
+        if self._closed:
+            raise QueueClosed("the service is shutting down")
+        if len(self._heap) >= self.max_pending:
+            raise QueueFull(f"admission queue is at capacity ({self.max_pending} pending jobs)")
+        job.enqueued_at = asyncio.get_running_loop().time()
+        heapq.heappush(self._heap, (-job.priority, next(self._seq), job))
+        self._wake(all_waiters=False)
+
+    async def take(self) -> Optional[ServiceJob]:
+        """Next runnable job, or ``None`` once the queue is closed *and* drained.
+
+        Jobs whose deadline passed while waiting are expired here — their
+        futures fail with :class:`DeadlineExceeded` and they are never
+        handed to a worker.
+        """
+        while True:
+            while self._heap:
+                _, _, job = heapq.heappop(self._heap)
+                if self._expire_if_late(job):
+                    continue
+                return job
+            if self._closed:
+                return None
+            waiter: "asyncio.Future[None]" = asyncio.get_running_loop().create_future()
+            self._waiters.append(waiter)
+            try:
+                await waiter
+            finally:
+                if not waiter.done():
+                    waiter.cancel()
+
+    def close(self) -> None:
+        """Stop admitting; pending jobs remain takeable (drain semantics)."""
+        self._closed = True
+        self._wake(all_waiters=True)
+
+    def abort_pending(self) -> int:
+        """Fail every waiting job with :class:`QueueClosed`; returns the count.
+
+        The non-drain shutdown path: queued work is refused rather than
+        finished.  Jobs already handed to a worker are unaffected.
+        """
+        aborted = 0
+        while self._heap:
+            _, _, job = heapq.heappop(self._heap)
+            job.state = JobState.FAILED
+            if not job.future.done():
+                job.future.set_exception(
+                    QueueClosed("the service shut down before this job ran")
+                )
+            job.finish_stream()
+            aborted += 1
+        return aborted
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _expire_if_late(self, job: ServiceJob) -> bool:
+        if job.deadline is None or asyncio.get_running_loop().time() <= job.deadline:
+            return False
+        job.state = JobState.EXPIRED
+        self.expired += 1
+        if not job.future.done():
+            job.future.set_exception(
+                DeadlineExceeded(f"job {job.job_id} waited past its deadline and was never started")
+            )
+        job.finish_stream()
+        return True
+
+    def _wake(self, all_waiters: bool) -> None:
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                if not all_waiters:
+                    return

@@ -1,0 +1,181 @@
+"""Worker pool of the solve service: process fan-out with a thread fallback.
+
+Plain (non-streamed) solves run in a ``ProcessPoolExecutor`` — the same
+execution substrate :func:`repro.api.solve_many` uses — so a multi-core
+host actually solves concurrently.  Two classes of work cannot use worker
+processes and fall back to a thread:
+
+* **streamed solves** — the anytime-progress callback must reach the event
+  loop while the solve runs, and a callable cannot cross a process
+  boundary;
+* **everything**, when the platform cannot create worker processes at all
+  (sandboxes, missing semaphores): the pool degrades to thread mode
+  instead of failing requests, exactly like the batch layer's serial
+  fallback.
+
+Thread-mode solves are serialized behind one lock: the dispatch layer
+snapshots module-global telemetry (A* counters, refinement trajectories)
+around each solver run, and two solves interleaving in one process would
+cross-attribute those snapshots.  Processes are unaffected — each worker
+has its own globals — so the lock costs nothing in the common mode.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..api.dispatch import solve
+from ..api.problem import PebblingProblem
+from ..api.result import SolveResult
+from ..core.exceptions import SolverError
+
+__all__ = ["WorkerPool"]
+
+#: Progress sink: called with (cost, elapsed_s) from the solving thread.
+ProgressFn = Callable[[int, float], None]
+
+
+def _solve_task(
+    payload: Tuple[PebblingProblem, str, Dict[str, Any]],
+) -> Tuple[str, Any]:
+    """Process-pool task: ``("ok", result)`` or ``("solver_error", exc)``.
+
+    Mirrors the batch layer's worker: a :class:`SolverError` is an expected
+    per-problem outcome and travels back as data; anything else propagates
+    through the future as a genuine bug.
+    """
+    problem, solver, options = payload
+    try:
+        return ("ok", solve(problem, solver=solver, **options))
+    except SolverError as exc:
+        return ("solver_error", exc)
+
+
+class WorkerPool:
+    """Executes solves for the service; see the module docstring for modes."""
+
+    def __init__(self, max_workers: int = 2, prefer_processes: bool = True) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self.prefer_processes = prefer_processes
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._thread_lock = threading.Lock()  # serializes thread-mode solves
+        self._fallback_reason: Optional[str] = None
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Create executors eagerly — before the event loop spawns helper
+        threads, so a ``fork``-based pool never forks a multi-threaded
+        parent."""
+        if self._started:
+            return
+        self._started = True
+        self._thread_pool = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-service-solve"
+        )
+        if not self.prefer_processes:
+            self._fallback_reason = "process workers disabled by configuration"
+            return
+        try:
+            self._process_pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        except (OSError, RuntimeError, PermissionError) as exc:
+            self._process_pool = None
+            self._fallback_reason = f"{type(exc).__name__}: {exc}"
+
+    def shutdown(self) -> None:
+        """Release both executors (idempotent)."""
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=False, cancel_futures=True)
+            self._process_pool = None
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=False, cancel_futures=True)
+            self._thread_pool = None
+
+    @property
+    def mode(self) -> str:
+        """``"process"`` or ``"thread"`` — how plain solves currently run."""
+        return "process" if self._process_pool is not None else "thread"
+
+    @property
+    def fallback_reason(self) -> Optional[str]:
+        """Why the pool is (or became) thread-mode, if it is."""
+        return self._fallback_reason
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    async def run(
+        self,
+        problem: PebblingProblem,
+        solver: str,
+        options: Dict[str, Any],
+        on_progress: Optional[ProgressFn] = None,
+    ) -> SolveResult:
+        """Solve one problem off the event loop; raises :class:`SolverError`.
+
+        ``on_progress`` (already thread-safe — the server wraps it in
+        ``loop.call_soon_threadsafe``) forces the thread path.
+        """
+        if not self._started:
+            self.start()
+        loop = asyncio.get_running_loop()
+        if on_progress is None and self._process_pool is not None:
+            try:
+                tag, value = await loop.run_in_executor(
+                    self._process_pool, _solve_task, (problem, solver, dict(options))
+                )
+            except (BrokenProcessPool, pickle.PicklingError) as exc:
+                # The *pool* died under this task (worker OOM-killed, platform
+                # revoked fork) or the task cannot cross the process boundary.
+                # Degrade to thread mode permanently and run this solve there
+                # — availability over parallelism.  Any other exception is the
+                # task's own bug and must fail only this job: treating it as
+                # a broken pool would let one bad request de-parallelize the
+                # whole daemon.
+                self._abandon_processes(f"{type(exc).__name__}: {exc}")
+                return await self._run_in_thread(loop, problem, solver, options, None)
+            if tag == "solver_error":
+                raise value
+            return value
+        return await self._run_in_thread(loop, problem, solver, options, on_progress)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _abandon_processes(self, reason: str) -> None:
+        self._fallback_reason = reason
+        pool, self._process_pool = self._process_pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    async def _run_in_thread(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        problem: PebblingProblem,
+        solver: str,
+        options: Dict[str, Any],
+        on_progress: Optional[ProgressFn],
+    ) -> SolveResult:
+        assert self._thread_pool is not None, "WorkerPool.start() must run first"
+
+        def call() -> SolveResult:
+            with self._thread_lock:
+                kwargs = dict(options)
+                if on_progress is not None:
+                    kwargs["on_progress"] = on_progress
+                return solve(problem, solver=solver, **kwargs)
+
+        return await loop.run_in_executor(self._thread_pool, call)

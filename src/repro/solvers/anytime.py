@@ -494,6 +494,7 @@ def refine_schedule(
     time_budget_s: Optional[float] = None,
     seed: int = 0,
     origin: str = "input",
+    on_improve: Optional[Callable[[int, float], None]] = None,
 ) -> Tuple[Schedule, RefinementTrajectory]:
     """Refine a legal schedule under a step and/or wall-clock budget.
 
@@ -515,6 +516,12 @@ def refine_schedule(
         the result bit-identical across runs and processes.
     origin:
         Provenance label recorded in the trajectory (a solver name).
+    on_improve:
+        Optional anytime-progress hook called as ``on_improve(cost,
+        elapsed_s)`` — once with the seed schedule's cost before the search
+        starts, then on every *accepted* mutation (costs are strictly
+        decreasing after the first call).  The hook does not influence the
+        search; an exception it raises propagates to the caller.
 
     Returns
     -------
@@ -548,6 +555,11 @@ def refine_schedule(
         best_moves, best_cost = moves, cost
         accepted += 1
         time_to_best = budget.elapsed()
+        if on_improve is not None:
+            on_improve(cost, time_to_best)
+
+    if on_improve is not None:
+        on_improve(initial_cost, 0.0)
 
     # deterministic phase 1: strip free I/O from the seed itself
     best_moves, best_cost = _elision_pass(

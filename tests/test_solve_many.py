@@ -383,3 +383,105 @@ class TestTimeout:
         )
         assert all(isinstance(r, SolverError) for r in results)
         assert all("timed out" in str(r) for r in results)
+
+
+class TestDiskSizeCap:
+    """max_disk_bytes: oldest-first pruning keeps the disk tier bounded."""
+
+    def _fill(self, tmp_path, max_disk_bytes=None, count=4):
+        """Store ``count`` distinct results with strictly increasing mtimes.
+
+        Returns the cache plus the (problem, digest) pairs in write order.
+        Explicit mtimes make "oldest-first" deterministic even when every
+        put lands within the same filesystem timestamp granule.
+        """
+        import os
+
+        problems = [
+            PebblingProblem(kary_tree_dag(2, 2), r=3, game="prbp"),
+            PebblingProblem(kary_tree_dag(2, 3), r=3, game="prbp"),
+            PebblingProblem(figure1_gadget(), r=4, game="prbp"),
+            PebblingProblem(figure1_gadget(), r=4, game="rbp"),
+        ][:count]
+        cache = ResultCache(directory=tmp_path, max_disk_bytes=max_disk_bytes)
+        stored = []
+        for i, problem in enumerate(problems):
+            digest = problem_digest(problem)
+            cache.put(digest, solve(problem))
+            path = cache._path(digest)
+            if path.exists():
+                os.utime(path, (1_000_000 + i, 1_000_000 + i))
+            stored.append((problem, digest))
+        return cache, stored
+
+    def test_no_cap_keeps_every_entry(self, tmp_path):
+        cache, stored = self._fill(tmp_path)
+        assert all(cache._path(digest).exists() for _, digest in stored)
+        assert cache.stats.evicted == 0
+        assert cache.disk_bytes() == sum(
+            cache._path(digest).stat().st_size for _, digest in stored
+        )
+
+    def test_generous_cap_prunes_nothing(self, tmp_path):
+        cache, stored = self._fill(tmp_path, max_disk_bytes=10_000_000)
+        assert all(cache._path(digest).exists() for _, digest in stored)
+        assert cache.stats.evicted == 0
+
+    def test_oldest_entries_are_pruned_first(self, tmp_path):
+        probe = ResultCache(directory=tmp_path)
+        entry_size = None
+        # size one entry to set a cap that holds exactly two of them
+        problem = PebblingProblem(kary_tree_dag(2, 2), r=3, game="prbp")
+        probe.put(problem_digest(problem), solve(problem))
+        entry_size = probe.disk_bytes()
+        probe.clear()
+
+        cache, stored = self._fill(tmp_path, max_disk_bytes=int(entry_size * 2.5))
+        assert cache.disk_bytes() <= int(entry_size * 2.5)
+        assert cache.stats.evicted >= 1
+        # the newest write always survives its own put()
+        assert cache._path(stored[-1][1]).exists()
+        # survivors are a suffix of the write order: every pruned entry is
+        # strictly older than every kept one
+        alive = [cache._path(d).exists() for _, d in stored]
+        assert alive == sorted(alive)  # False... then True...
+
+    def test_pruned_entries_miss_but_survivors_serve(self, tmp_path):
+        cache, stored = self._fill(tmp_path, max_disk_bytes=1)
+        # a fresh instance has no memory tier; pruned disk entries are misses
+        fresh = ResultCache(directory=tmp_path)
+        for problem, digest in stored:
+            if cache._path(digest).exists():
+                assert fresh.get(problem, digest) is not None
+            else:
+                assert fresh.get(problem, digest) is None
+
+    def test_cap_below_one_entry_degrades_to_memory_only(self, tmp_path):
+        problem = PebblingProblem(kary_tree_dag(2, 2), r=3, game="prbp")
+        digest = problem_digest(problem)
+        cache = ResultCache(directory=tmp_path, max_disk_bytes=1)
+        result = solve(problem)
+        cache.put(digest, result)
+        assert cache.disk_bytes() == 0  # the write itself was pruned
+        assert cache.stats.evicted == 1
+        # ... but the memory tier still answers within this process
+        assert cache.get(problem, digest) is not None
+
+    def test_foreign_files_are_never_pruned(self, tmp_path):
+        foreign = tmp_path / "README.txt"
+        foreign.write_text("not a cache entry")
+        nested = tmp_path / "ab" / "notes.log"
+        nested.parent.mkdir(parents=True, exist_ok=True)
+        nested.write_text("x" * 10_000)
+        cache, _ = self._fill(tmp_path, max_disk_bytes=1)
+        assert foreign.exists() and nested.exists()
+        assert cache.stats.evicted >= 1
+
+    def test_solve_many_respects_the_cap(self, tmp_path):
+        problems = _mixed_batch()
+        cache = ResultCache(directory=tmp_path, max_disk_bytes=1)
+        first = solve_many(problems, cache=cache)
+        assert cache.disk_bytes() == 0
+        # batch answers are unaffected: memory tier plus recomputation
+        second = solve_many(problems, cache=cache)
+        _assert_identical(second, first)
