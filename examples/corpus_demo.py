@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""The corpus workbench end to end: fuzz, ingest, query, sample, bench.
+
+Walks every layer of :mod:`repro.corpus` in one self-contained run:
+
+1. **fuzz** a seeded corpus of solver-discriminating instances — the
+   generator sweep keeps only DAGs on which greedy and naive disagree (or an
+   exact probe beats both), so every stored instance carries information
+   about *when* the cheap heuristics fail;
+2. **ingest** an external graph twice — once from the dependency-free JSON
+   graph-dump format, once from a duck-typed ONNX-style proto — and show
+   both deduplicate against re-imports by content digest;
+3. **query** the store with must/should/must-not feature filters and tighten
+   a best-known cost monotonically;
+4. **export** the corpus as a JSONL interchange file and reload it into a
+   fresh in-memory store with identical digests;
+5. **sample** the corpus into benchmark scenarios deterministically — the
+   same seed always selects the same instances, the property the
+   ``repro-bench --corpus ... --compare`` regression gate relies on.
+
+Run with:  python examples/corpus_demo.py
+
+The CLI equivalents:  repro-corpus build / import / stats / select / export,
+then  repro-bench --corpus CORPUS.sqlite --corpus-sample 8.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+from types import SimpleNamespace
+
+from repro.api import solve
+from repro.corpus import (
+    CorpusStore,
+    FuzzConfig,
+    build_corpus,
+    corpus_scenarios,
+    problem_from_graph_dump,
+    problem_from_onnx,
+)
+
+
+def fuzz_section(store: CorpusStore) -> None:
+    print("== 1. fuzz a discriminating corpus ==")
+    config = FuzzConfig(seed=42, max_nodes=24, wall_spread=None)
+    report = build_corpus(store, target=25, budget_s=30.0, config=config)
+    print(
+        f"generated {report.generated} candidates in {report.elapsed_s:.2f}s, "
+        f"kept {report.kept} discriminating instances "
+        f"(rejected {report.rejected} on which every solver agreed)\n"
+    )
+
+
+def ingest_section(store: CorpusStore) -> None:
+    print("== 2. ingest external graphs ==")
+    diamond = problem_from_graph_dump(
+        {
+            "format": "repro-graph-dump",
+            "version": 1,
+            "name": "diamond",
+            "edges": [[0, 1], [0, 2], [1, 3], [2, 3]],
+            "r": 3,
+            "game": "prbp",
+        }
+    )
+    print(f"graph dump  -> {diamond.dag.name}: n={diamond.n}, r={diamond.r}")
+    store.add(diamond, source="import:demo")
+
+    def op(name, op_type, inputs, outputs):
+        return SimpleNamespace(name=name, op_type=op_type, input=inputs, output=outputs)
+
+    proto = SimpleNamespace(
+        name="two-layer-mlp",
+        input=[SimpleNamespace(name="x")],
+        initializer=[SimpleNamespace(name="w1"), SimpleNamespace(name="w2")],
+        node=[
+            op("mm1", "MatMul", ["x", "w1"], ["h"]),
+            op("relu", "Relu", ["h"], ["a"]),
+            op("mm2", "MatMul", ["a", "w2"], ["y"]),
+        ],
+    )
+    mlp = problem_from_onnx(proto, r=3)
+    print(f"onnx proto  -> {mlp.dag.name}: n={mlp.n}, m={mlp.dag.m}")
+    store.add(mlp, source="import:demo")
+    assert store.add(mlp, source="import:demo") is False
+    print("re-importing the same model: deduplicated by content digest\n")
+
+
+def query_section(store: CorpusStore) -> None:
+    print("== 3. feature filters and monotone best-cost upserts ==")
+    small_prbp = store.query(must=["n<=16", "game=prbp"], limit=3)
+    print(f"must n<=16, game=prbp    -> {len(small_prbp)} shown of the matches")
+    for inst in small_prbp:
+        print(
+            f"  {inst.digest[:12]}  {inst.features.family or '-':<16} "
+            f"n={inst.features.n:<3} depth={inst.features.depth:<2} "
+            f"best={inst.best_cost} ({inst.best_solver})"
+        )
+    hard = store.query(must_not=["best_cost<=5"])
+    print(f"must-not best_cost<=5    -> {len(hard)} instances stay interesting")
+
+    inst = small_prbp[0]
+    result = solve(inst.problem(), solver="auto")
+    improved = store.update_best(inst.digest, result.cost, result.solver or "auto")
+    print(
+        f"auto solve of {inst.digest[:12]} costs {result.cost}: "
+        f"{'recorded (better than stored)' if improved else 'ignored (not better than stored)'}\n"
+    )
+
+
+def interchange_section(store: CorpusStore, path: Path) -> None:
+    print("== 4. JSONL interchange ==")
+    exported = store.export_jsonl(path)
+    reloaded = CorpusStore.from_file(path)
+    assert {i.digest for i in reloaded.query()} == {i.digest for i in store.query()}
+    print(f"exported {exported} instances to {path.name}; reload is digest-identical")
+    print(json.dumps(reloaded.stats()["by"]["family"], indent=2), "\n")
+
+
+def bench_section(store: CorpusStore) -> None:
+    print("== 5. deterministic bench sampling ==")
+    first = corpus_scenarios(store, sample=4, seed=7, must=["n<=24"])
+    second = corpus_scenarios(store, sample=4, seed=7, must=["n<=24"])
+    assert [s.name for s in first] == [s.name for s in second]
+    print("seed 7 samples (stable across runs and machines):")
+    for scenario in first:
+        problem = scenario.build_problem("quick")
+        result = solve(problem, solver=scenario.solver)
+        print(f"  {scenario.name}: {scenario.game} n={problem.n} -> cost {result.cost}")
+    print("\nsame thing from the shell:")
+    print("  repro-corpus build --out corpus.sqlite --target 500 --budget-s 60")
+    print("  repro-bench --corpus corpus.sqlite --corpus-sample 8 --corpus-must 'n<=24'")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CorpusStore()  # in-memory; pass a path to persist
+        fuzz_section(store)
+        ingest_section(store)
+        query_section(store)
+        interchange_section(store, Path(tmp) / "corpus.jsonl")
+        bench_section(store)
+
+
+if __name__ == "__main__":
+    main()

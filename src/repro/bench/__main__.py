@@ -112,7 +112,61 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list",
         action="store_true",
-        help="list registered scenarios (with groups and tier sizes) and exit",
+        help="list registered scenarios (with groups and tier sizes) and exit; "
+        "respects --group / --scenario / --corpus",
+    )
+    corpus = parser.add_argument_group(
+        "corpus sampling",
+        "sample scenarios from a repro-corpus store (SQLite or JSONL) into the "
+        "'corpus' group; without an explicit --group/--scenario the run is "
+        "restricted to that group",
+    )
+    corpus.add_argument(
+        "--corpus",
+        metavar="PATH",
+        help="corpus file to sample bench scenarios from",
+    )
+    corpus.add_argument(
+        "--corpus-sample",
+        type=int,
+        default=8,
+        metavar="K",
+        help="instances sampled from the corpus [default: 8]",
+    )
+    corpus.add_argument(
+        "--corpus-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="deterministic sampling seed [default: 0]",
+    )
+    corpus.add_argument(
+        "--corpus-must",
+        action="append",
+        default=[],
+        metavar="EXPR",
+        help="corpus filter that has to hold, e.g. 'n<=32' (repeatable)",
+    )
+    corpus.add_argument(
+        "--corpus-should",
+        action="append",
+        default=[],
+        metavar="EXPR",
+        help="corpus filter of which at least --corpus-min-should have to hold",
+    )
+    corpus.add_argument(
+        "--corpus-must-not",
+        action="append",
+        default=[],
+        metavar="EXPR",
+        help="corpus filter that has to fail (repeatable)",
+    )
+    corpus.add_argument("--corpus-min-should", type=int, default=1, metavar="N")
+    corpus.add_argument(
+        "--corpus-solver",
+        default="auto",
+        metavar="NAME",
+        help="solver dispatched on sampled instances [default: auto]",
     )
     return parser
 
@@ -124,9 +178,14 @@ def _describe_tier(spec) -> str:
     return f"({', '.join(parts)})"
 
 
-def _list_scenarios() -> None:
+def _list_scenarios(
+    groups: Optional[List[str]] = None, names: Optional[List[str]] = None
+) -> None:
+    wanted = set(names) if names else None
     rows = []
-    for scenario in iter_scenarios():
+    for scenario in iter_scenarios(groups=groups):
+        if wanted is not None and scenario.name not in wanted:
+            continue
         quick, full = scenario.tier("quick"), scenario.tier("full")
         rows.append(
             [
@@ -138,11 +197,22 @@ def _list_scenarios() -> None:
                 _describe_tier(full),
             ]
         )
+    filters = ""
+    if groups or names:
+        parts = []
+        if groups:
+            parts.append(f"groups={','.join(groups)}")
+        if names:
+            parts.append(f"scenarios={','.join(names)}")
+        filters = f" matching {' '.join(parts)}"
     print(
         format_table(
             ["group", "scenario", "game", "solver", "quick args", "full args"],
             rows,
-            title=f"registered scenarios ({len(rows)}) — groups: {', '.join(scenario_groups())}",
+            title=(
+                f"registered scenarios ({len(rows)}){filters} — "
+                f"groups: {', '.join(scenario_groups())}"
+            ),
         )
     )
 
@@ -177,12 +247,40 @@ def _print_records(records: List[ScenarioRecord]) -> None:
             print(f"ERROR {rec.scenario}: {rec.error}", file=sys.stderr)
 
 
+def _register_corpus(args: argparse.Namespace) -> int:
+    """Sample ``--corpus`` into registered scenarios; returns how many."""
+    from ..corpus import register_corpus_scenarios
+
+    scenarios = register_corpus_scenarios(
+        args.corpus,
+        sample=args.corpus_sample,
+        seed=args.corpus_seed,
+        must=args.corpus_must,
+        should=args.corpus_should,
+        must_not=args.corpus_must_not,
+        min_should=args.corpus_min_should,
+        solver=args.corpus_solver,
+    )
+    return len(scenarios)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
 
+    if args.corpus is not None:
+        try:
+            registered = _register_corpus(args)
+        except Exception as exc:  # corpus errors are user input errors here
+            print(f"error: cannot sample corpus {args.corpus}: {exc}", file=sys.stderr)
+            return 1
+        print(f"sampled {registered} corpus scenario(s) from {args.corpus}")
+        if args.group is None and args.scenario is None and not args.list:
+            # A corpus run measures the sample unless told otherwise.
+            args.group = ["corpus"]
+
     if args.list:
-        _list_scenarios()
+        _list_scenarios(groups=args.group, names=args.scenario)
         return 0
 
     if args.input is not None:

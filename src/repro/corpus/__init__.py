@@ -1,0 +1,80 @@
+"""repro.corpus — the DAG corpus workbench: ingest, fuzz, store, sample.
+
+Every other subsystem measures the library on the 31 hand-registered paper
+scenarios; this package grows that slice into a *population*:
+
+* **importers** (:mod:`repro.corpus.importers`) turn external computation
+  graphs into :class:`~repro.api.problem.PebblingProblem`\\ s — a
+  dependency-free JSON *graph-dump* format as the baseline, plus ONNX and
+  ``torch.fx`` adapters that degrade to a clear :class:`CorpusImportError`
+  when those libraries are absent;
+* the **generator-fuzzer** (:mod:`repro.corpus.fuzz`) sweeps the
+  :mod:`repro.dags` random-DAG space (layers × width × density × fan-in ×
+  capacity × variant), seeded and replayable, and keeps only instances that
+  *discriminate* between registered solvers;
+* the **store** (:mod:`repro.corpus.store`) is a SQLite-backed,
+  digest-deduplicated table of instances with per-instance structural
+  features, must/should/must-not filter queries, monotone best-known-cost
+  upserts and JSONL export/import;
+* the **bench source** (:mod:`repro.corpus.bench_source`) samples a stored
+  corpus deterministically (seed + filters) into
+  :class:`~repro.bench.scenario.BenchScenario`\\ s, so ``repro.bench`` tiers
+  measure a diverse population instead of a fixed list.
+
+Command line: ``repro-corpus build | import | stats | select | export``
+(see :mod:`repro.corpus.__main__`).
+"""
+
+from .features import InstanceFeatures, extract_features
+from .importers import (
+    GRAPH_DUMP_FORMAT,
+    GRAPH_DUMP_VERSION,
+    CorpusImportError,
+    load_graph_dump,
+    problem_from_graph_dump,
+    problem_from_onnx,
+    problem_from_torch_fx,
+    problem_to_graph_dump,
+    save_graph_dump,
+)
+from .store import (
+    CORPUS_SCHEMA_VERSION,
+    CorpusInstance,
+    CorpusStore,
+    Filter,
+    parse_filter,
+)
+from .fuzz import (
+    DiscriminationReport,
+    FuzzConfig,
+    build_corpus,
+    discriminates,
+    sweep_instances,
+)
+from .bench_source import corpus_scenarios, register_corpus_scenarios
+
+__all__ = [
+    "InstanceFeatures",
+    "extract_features",
+    "CorpusImportError",
+    "GRAPH_DUMP_FORMAT",
+    "GRAPH_DUMP_VERSION",
+    "problem_from_graph_dump",
+    "problem_to_graph_dump",
+    "load_graph_dump",
+    "save_graph_dump",
+    "problem_from_onnx",
+    "problem_from_torch_fx",
+    "CORPUS_SCHEMA_VERSION",
+    "CorpusInstance",
+    "CorpusStore",
+    "Filter",
+    "parse_filter",
+    "FuzzConfig",
+    "DiscriminationReport",
+    "discriminates",
+    "sweep_instances",
+    "build_corpus",
+    "corpus_scenarios",
+    "register_corpus_scenarios",
+]

@@ -1,0 +1,313 @@
+"""``python -m repro.corpus`` / ``repro-corpus`` — the corpus workbench CLI.
+
+Subcommands:
+
+* ``build`` — fuzz the random-DAG space into a corpus: sweep generator
+  parameters (seeded, replayable), keep instances on which the probed
+  solvers disagree, stop at ``--target`` kept instances or ``--budget-s``
+  seconds, whichever comes first.
+* ``import`` — ingest external graphs: JSON graph-dump documents, JSONL
+  corpus exports, or ``.onnx`` models (when the ``onnx`` package is
+  installed; a clear error otherwise).
+* ``stats`` — per-corpus summary: counts, family/game/solver histograms,
+  feature ranges, how many instances carry a best-known cost and how many
+  are provably optimal.
+* ``select`` — filter-query instances (``--must n<=32 --must game=prbp``),
+  or draw a deterministic ``--sample K --seed S`` subset; table or
+  ``--json`` output.
+* ``export`` — write the (filtered) corpus as a JSONL interchange file.
+
+Exit codes: 0 on success, 1 on failure (import errors, empty required
+results), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from ..api.bounds import best_lower_bound
+from ..api.problem import PebblingProblem
+from .fuzz import BuildReport, FuzzConfig, build_corpus
+from .importers import CorpusImportError, load_graph_dump, problem_from_onnx
+from .store import CorpusInstance, CorpusStore
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.corpus",
+        description="Build, ingest, query and export pebbling-instance corpora.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_filters(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--must",
+            action="append",
+            default=[],
+            metavar="EXPR",
+            help="filter that has to hold (repeatable), e.g. 'n<=32', 'game=prbp'",
+        )
+        p.add_argument(
+            "--should",
+            action="append",
+            default=[],
+            metavar="EXPR",
+            help="soft filter; at least --min-should of these have to hold",
+        )
+        p.add_argument(
+            "--must-not",
+            action="append",
+            default=[],
+            metavar="EXPR",
+            help="filter that has to fail (repeatable)",
+        )
+        p.add_argument("--min-should", type=int, default=1, metavar="N")
+
+    build = sub.add_parser("build", help="fuzz discriminating instances into a corpus")
+    build.add_argument("--out", required=True, metavar="PATH", help="SQLite corpus file")
+    build.add_argument("--target", type=int, default=500, metavar="N")
+    build.add_argument("--budget-s", type=float, default=60.0, metavar="SECONDS")
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--jobs", type=int, default=1, metavar="N")
+    build.add_argument("--min-nodes", type=int, default=None, metavar="N")
+    build.add_argument("--max-nodes", type=int, default=None, metavar="N")
+    build.add_argument(
+        "--solvers",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated solver names every candidate is probed with",
+    )
+    build.add_argument(
+        "--cost-only",
+        action="store_true",
+        help="keep only cost-discriminating instances (drop the wall-time "
+        "spread rule; makes the kept set machine-independent)",
+    )
+    build.add_argument(
+        "--source", default=None, metavar="TAG", help="provenance tag (default fuzz:seed=N)"
+    )
+
+    imp = sub.add_parser("import", help="ingest graph dumps / JSONL exports / ONNX models")
+    imp.add_argument("--out", required=True, metavar="PATH", help="SQLite corpus file")
+    imp.add_argument("files", nargs="+", metavar="FILE")
+    imp.add_argument("--r", type=int, default=None, help="capacity for graph/ONNX imports")
+    imp.add_argument("--game", default=None, choices=("rbp", "prbp"))
+    imp.add_argument(
+        "--source", default=None, metavar="TAG", help="provenance tag (default import:<name>)"
+    )
+
+    stats = sub.add_parser("stats", help="summarise a corpus")
+    stats.add_argument("corpus", metavar="PATH")
+
+    select = sub.add_parser("select", help="filter-query or sample instances")
+    select.add_argument("corpus", metavar="PATH")
+    add_filters(select)
+    select.add_argument("--limit", type=int, default=None, metavar="N")
+    select.add_argument(
+        "--sample", type=int, default=None, metavar="K", help="deterministic K-subset"
+    )
+    select.add_argument("--seed", type=int, default=0, help="sampling seed (with --sample)")
+    select.add_argument("--json", action="store_true", help="JSON rows instead of a table")
+
+    export = sub.add_parser("export", help="write the (filtered) corpus as JSONL")
+    export.add_argument("corpus", metavar="PATH")
+    export.add_argument("--out", required=True, metavar="PATH")
+    add_filters(export)
+
+    return parser
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    overrides = {}
+    if args.min_nodes is not None:
+        overrides["min_nodes"] = args.min_nodes
+    if args.max_nodes is not None:
+        overrides["max_nodes"] = args.max_nodes
+    if args.solvers is not None:
+        overrides["solvers"] = tuple(s.strip() for s in args.solvers.split(",") if s.strip())
+    if args.cost_only:
+        overrides["wall_spread"] = None
+    config = FuzzConfig(seed=args.seed, **overrides)
+
+    store = CorpusStore(args.out)
+
+    def progress(report: BuildReport) -> None:
+        print(
+            f"  generated {report.generated}, kept {report.kept}, "
+            f"duplicates {report.duplicates}, rejected {report.rejected} "
+            f"({report.elapsed_s:.1f}s)",
+            file=sys.stderr,
+        )
+
+    report = build_corpus(
+        store,
+        target=args.target,
+        budget_s=args.budget_s,
+        config=config,
+        source=args.source,
+        jobs=args.jobs,
+        progress=progress,
+        progress_every=100,
+    )
+    doc = report.as_dict()
+    doc["corpus"] = args.out
+    doc["instances"] = len(store)
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
+def _import_one(path: Path, r: Optional[int], game: Optional[str]) -> List[PebblingProblem]:
+    """All problems in one input file, whatever its format."""
+    if path.suffix.lower() == ".onnx":
+        kwargs = {}
+        if r is not None:
+            kwargs["r"] = r
+        if game is not None:
+            kwargs["game"] = game
+        return [problem_from_onnx(path, **kwargs)]
+    raw = path.read_text(encoding="utf-8")
+    try:
+        json.loads(raw)
+        is_single_json = True
+    except json.JSONDecodeError:
+        is_single_json = False
+    if is_single_json:
+        problems = load_graph_dump(path)
+        if r is not None or game is not None:
+            problems = [
+                PebblingProblem(
+                    p.dag,
+                    r=r if r is not None else p.r,
+                    game=game if game is not None else p.game,
+                    variant=p.variant,
+                )
+                for p in problems
+            ]
+        return problems
+    # Not one JSON document: treat as a JSONL corpus export.
+    sub = CorpusStore(":memory:")
+    sub.import_jsonl(path)
+    return [inst.problem() for inst in sub.query()]
+
+
+def _cmd_import(args: argparse.Namespace) -> int:
+    store = CorpusStore(args.out)
+    inserted = duplicates = 0
+    for name in args.files:
+        path = Path(name)
+        problems = _import_one(path, args.r, args.game)
+        source = args.source or f"import:{path.name}"
+        for problem in problems:
+            bound, _ = best_lower_bound(problem)
+            if store.add(problem, source=source, lower_bound=bound):
+                inserted += 1
+            else:
+                duplicates += 1
+    print(
+        json.dumps(
+            {
+                "corpus": args.out,
+                "inserted": inserted,
+                "duplicates": duplicates,
+                "instances": len(store),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    store = CorpusStore.from_file(args.corpus)
+    print(json.dumps(store.stats(), indent=2, sort_keys=True))
+    return 0
+
+
+def _rows(instances: Iterable[CorpusInstance]) -> List[dict]:
+    out = []
+    for inst in instances:
+        f = inst.features
+        out.append(
+            {
+                "digest": inst.digest[:12],
+                "family": f.family or "-",
+                "game": f.game,
+                "n": f.n,
+                "m": f.m,
+                "depth": f.depth,
+                "width": f.width,
+                "r": f.r,
+                "lower_bound": inst.lower_bound,
+                "best_cost": inst.best_cost,
+                "best_solver": inst.best_solver or "-",
+                "source": inst.source,
+            }
+        )
+    return out
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    store = CorpusStore.from_file(args.corpus)
+    filters = dict(
+        must=args.must, should=args.should, must_not=args.must_not, min_should=args.min_should
+    )
+    if args.sample is not None:
+        instances = store.sample(args.sample, seed=args.seed, **filters)
+    else:
+        instances = store.query(limit=args.limit, **filters)
+    rows = _rows(instances)
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    if not rows:
+        print("no matching instances")
+        return 0
+    columns = list(rows[0])
+    widths = {c: max(len(c), *(len(str(row[c])) for row in rows)) for c in columns}
+    print("  ".join(c.ljust(widths[c]) for c in columns))
+    for row in rows:
+        print("  ".join(str(row[c]).ljust(widths[c]) for c in columns))
+    print(f"{len(rows)} instance(s)")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    store = CorpusStore.from_file(args.corpus)
+    written = store.export_jsonl(
+        args.out,
+        must=args.must,
+        should=args.should,
+        must_not=args.must_not,
+        min_should=args.min_should,
+    )
+    print(json.dumps({"out": args.out, "instances": written}, indent=2, sort_keys=True))
+    return 0
+
+
+_COMMANDS = {
+    "build": _cmd_build,
+    "import": _cmd_import,
+    "stats": _cmd_stats,
+    "select": _cmd_select,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (CorpusImportError, OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Corpus-sampled benchmark scenarios: measure a population, not a list.
+
+The 31 hand-registered scenarios reproduce the paper's closed-form
+constructions; a corpus holds hundreds of fuzz-kept and imported instances
+beyond them.  This module bridges the two: it samples a stored corpus
+deterministically (seed + must/should/must-not filters, via
+:meth:`CorpusStore.sample`'s RNG-free smallest-hash rule) and wraps each
+sampled instance as a :class:`~repro.bench.scenario.BenchScenario` in the
+``corpus`` group, so the existing runner, the ``--compare`` regression gate
+and the JSON report format all apply unchanged.
+
+Scenario names embed the instance's content digest (``corpus-<digest12>``),
+which makes two runs of the same corpus file + seed + filters *bit
+identical* in scenario composition — exactly what ``--compare`` needs: a
+changed sample would otherwise masquerade as a performance change.
+
+Corpus scenarios deliberately have identical ``quick`` and ``full`` tiers:
+a stored instance has one concrete size, unlike the registered closed-form
+families that rescale per tier.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from ..core.dag import ComputationalDAG
+from ..bench.scenario import (
+    BenchScenario,
+    ScenarioTier,
+    TIERS,
+    register_scenario,
+    unregister_scenario,
+)
+from .store import CorpusInstance, CorpusStore, Filter
+
+__all__ = ["CORPUS_GROUP", "corpus_scenarios", "register_corpus_scenarios"]
+
+#: The scenario group every corpus-sampled scenario lands in.
+CORPUS_GROUP = "corpus"
+
+FilterArg = Optional[Iterable[Union[str, Filter]]]
+
+
+def _instance_scenario(instance: CorpusInstance, solver: str) -> BenchScenario:
+    """One sampled instance as a scenario with identical quick/full tiers."""
+    problem = instance.problem()  # digest-checked rebuild, fails loudly
+
+    def factory(digest: str = instance.digest) -> ComputationalDAG:
+        # The closure captures the already-rebuilt problem; the digest
+        # keyword puts the identity into the tier's dag_kwargs so --list
+        # and the JSON report show which corpus row the scenario measures.
+        return problem.dag
+
+    tier = ScenarioTier(
+        dag_kwargs={"digest": instance.digest},
+        r=problem.r,
+        expected_cost=None,
+    )
+    return BenchScenario(
+        name=f"corpus-{instance.digest[:12]}",
+        group=CORPUS_GROUP,
+        title=(
+            f"corpus instance {instance.digest[:12]} "
+            f"({instance.features.family or 'unknown'}, n={instance.features.n}, "
+            f"r={instance.features.r}, {instance.features.game}, "
+            f"source={instance.source})"
+        ),
+        dag_factory=factory,
+        game=problem.game,
+        variant=problem.variant,
+        solver=solver,
+        tiers={name: tier for name in TIERS},
+        reference=(
+            f"best known {instance.best_cost} ({instance.best_solver})"
+            if instance.best_cost is not None
+            else "no best-known cost recorded"
+        ),
+    )
+
+
+def corpus_scenarios(
+    source: Union[str, Path, CorpusStore],
+    sample: int = 8,
+    seed: int = 0,
+    must: FilterArg = None,
+    should: FilterArg = None,
+    must_not: FilterArg = None,
+    min_should: int = 1,
+    solver: str = "auto",
+) -> List[BenchScenario]:
+    """Sample ``sample`` instances from a corpus into bench scenarios.
+
+    ``source`` is a :class:`CorpusStore`, a SQLite corpus file, or a JSONL
+    export (format detected by content).  The result is a deterministic
+    function of (corpus contents, seed, filters) and is sorted by scenario
+    name, so repeated runs build byte-identical suites.
+    """
+    store = source if isinstance(source, CorpusStore) else CorpusStore.from_file(source)
+    instances = store.sample(
+        sample, seed=seed, must=must, should=should, must_not=must_not, min_should=min_should
+    )
+    return sorted(
+        (_instance_scenario(inst, solver=solver) for inst in instances),
+        key=lambda s: s.name,
+    )
+
+
+def register_corpus_scenarios(
+    source: Union[str, Path, CorpusStore],
+    sample: int = 8,
+    seed: int = 0,
+    must: FilterArg = None,
+    should: FilterArg = None,
+    must_not: FilterArg = None,
+    min_should: int = 1,
+    solver: str = "auto",
+    replace: bool = True,
+) -> List[BenchScenario]:
+    """Sample a corpus and register the scenarios in the global registry.
+
+    With ``replace`` (the default) a name collision from an earlier
+    registration of the same instance is silently replaced, so re-running
+    a bench CLI invocation in one process is idempotent.  Returns the
+    registered scenarios.
+    """
+    scenarios = corpus_scenarios(
+        source,
+        sample=sample,
+        seed=seed,
+        must=must,
+        should=should,
+        must_not=must_not,
+        min_should=min_should,
+        solver=solver,
+    )
+    for scenario in scenarios:
+        if replace:
+            unregister_scenario(scenario.name)
+        register_scenario(scenario)
+    return scenarios

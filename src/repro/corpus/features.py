@@ -1,0 +1,103 @@
+"""Structural features of a pebbling instance, as stored in the corpus.
+
+The corpus indexes instances by cheap, deterministic graph quantities so
+that filter queries (``n<=64``, ``depth>=5``, ``family=random_layered``) and
+the future learned dispatch policy can select instances without rebuilding
+any DAG.  Everything here is derived from the problem alone — no solver is
+consulted — so features computed at ingest time and features recomputed from
+a re-imported instance always agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..api.problem import PebblingProblem
+from ..core.dag import ComputationalDAG
+
+__all__ = ["InstanceFeatures", "extract_features"]
+
+
+@dataclass(frozen=True)
+class InstanceFeatures:
+    """The per-instance feature row the corpus stores and queries.
+
+    ``depth`` is the number of edges on a longest directed path (0 for a
+    graph with no edges); ``width`` is the size of the largest *level*, where
+    the level of a node is its longest distance from any source — the usual
+    as-soon-as-possible schedule width, an easily computed proxy for the
+    antichain width the paper's partition bounds reason about.
+    """
+
+    n: int
+    m: int
+    depth: int
+    width: int
+    max_in_degree: int
+    max_out_degree: int
+    n_sources: int
+    n_sinks: int
+    trivial_cost: int
+    r: int
+    game: str
+    family: Optional[str]
+    family_params: Dict[str, object]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "n": self.n,
+            "m": self.m,
+            "depth": self.depth,
+            "width": self.width,
+            "max_in_degree": self.max_in_degree,
+            "max_out_degree": self.max_out_degree,
+            "n_sources": self.n_sources,
+            "n_sinks": self.n_sinks,
+            "trivial_cost": self.trivial_cost,
+            "r": self.r,
+            "game": self.game,
+            "family": self.family,
+            "family_params": dict(self.family_params),
+        }
+
+
+def _levels(dag: ComputationalDAG) -> list[int]:
+    """Longest distance (in edges) from any source, per node."""
+    level = [0] * dag.n
+    for v in dag.topological_order:
+        preds = dag.predecessors(v)
+        if preds:
+            level[v] = 1 + max(level[u] for u in preds)
+    return level
+
+
+def extract_features(problem: PebblingProblem) -> InstanceFeatures:
+    """Compute the feature row of one instance (``O(n + m)``)."""
+    dag = problem.dag
+    if dag.n:
+        level = _levels(dag)
+        depth = max(level)
+        counts: Dict[int, int] = {}
+        for lv in level:
+            counts[lv] = counts.get(lv, 0) + 1
+        width = max(counts.values())
+    else:
+        depth = 0
+        width = 0
+    fam = dag.family
+    return InstanceFeatures(
+        n=dag.n,
+        m=dag.m,
+        depth=depth,
+        width=width,
+        max_in_degree=dag.max_in_degree,
+        max_out_degree=dag.max_out_degree,
+        n_sources=len(dag.sources),
+        n_sinks=len(dag.sinks),
+        trivial_cost=dag.trivial_cost(),
+        r=problem.r,
+        game=problem.game,
+        family=None if fam is None else fam.name,
+        family_params={} if fam is None else fam.as_dict(),
+    )

@@ -1,0 +1,331 @@
+"""The generator-fuzzer: sweep the random-DAG space, keep what discriminates.
+
+A corpus of instances every solver handles identically teaches the dispatch
+policy nothing.  The fuzzer therefore sweeps the :mod:`repro.dags` random
+generators — layer count × layer width × edge density × fan-in cap ×
+capacity offset × game × variant bundle — and keeps only instances on which
+the probed solvers *disagree*: different I/O costs, or a wall-time spread
+above a configurable factor (measured through the same
+:func:`repro.api.solve_many` machinery everything else uses, so a kept
+instance reproduces its discrimination outside the fuzzer).
+
+Replayability is structural, not incidental: candidate ``i`` of a sweep
+seeded with ``seed`` derives its own generator seed deterministically, the
+generated DAG records that seed (plus every shape parameter) in its
+:class:`~repro.core.dag.DAGFamily` tag, and cost-based discrimination is a
+pure function of the instance — so ``sweep_instances(config)`` enumerates
+the identical candidate stream on every machine, and any stored instance
+can be regenerated from its family tag alone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..api.batch import solve_many
+from ..api.problem import PebblingProblem
+from ..api.result import SolveResult
+from ..core.variants import ONE_SHOT, RECOMPUTE, SLIDING, GameVariant
+from ..dags.random_dags import random_dag, random_layered_dag
+from .store import CorpusStore
+
+__all__ = [
+    "FuzzConfig",
+    "DiscriminationReport",
+    "BuildReport",
+    "sweep_instances",
+    "discriminates",
+    "build_corpus",
+]
+
+#: Large prime stride separating per-candidate generator seeds; keeps every
+#: candidate's seed distinct for any base seed without shared RNG state.
+_SEED_STRIDE = 1_000_003
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Everything that shapes one fuzz sweep (hashable, fully declarative).
+
+    The defaults cover small-to-medium instances (every probed solver
+    answers in milliseconds) across both games and the variant bundles the
+    engines support; narrow or widen any axis per sweep.  ``wall_spread``
+    may be ``None`` to keep *only* cost-discriminating instances — that
+    makes the kept set a deterministic function of ``seed`` (wall-clock
+    spreads depend on machine load).
+    """
+
+    seed: int = 0
+    #: Inclusive node-count window; candidates outside it are skipped.
+    min_nodes: int = 6
+    max_nodes: int = 48
+    #: Layered-generator shape windows (inclusive).
+    min_layers: int = 2
+    max_layers: int = 6
+    min_layer_width: int = 1
+    max_layer_width: int = 7
+    edge_probabilities: Tuple[float, ...] = (0.15, 0.3, 0.5, 0.8)
+    fanin_caps: Tuple[Optional[int], ...] = (None, 2, 3)
+    #: Capacity = DAG max in-degree + one of these offsets.
+    r_offsets: Tuple[int, ...] = (1, 2, 4)
+    games: Tuple[str, ...] = ("prbp", "rbp")
+    #: Variant bundles by name; sliding is RBP-only and skipped for PRBP.
+    variants: Tuple[str, ...] = ("one_shot", "recompute", "sliding")
+    #: Mix of generators: "layered" = random_layered_dag, "uniform" = random_dag.
+    generators: Tuple[str, ...] = ("layered", "layered", "uniform")
+    #: Solvers every candidate is probed with.
+    solvers: Tuple[str, ...] = ("greedy", "naive")
+    #: Additionally probe the exact solver on candidates this small.
+    exact_node_limit: int = 9
+    #: Keep on wall-time ratio above this (None = cost differences only).
+    wall_spread: Optional[float] = 2.0
+    #: Wall spreads are trusted only when the slowest probe took this long.
+    min_wall_s: float = 0.01
+    #: Per-instance wall budget, enforced when ``jobs > 1`` (a serial solve
+    #: cannot be pre-empted; see :func:`repro.api.solve_many`).
+    instance_timeout_s: Optional[float] = 10.0
+
+    def variant_of(self, name: str) -> GameVariant:
+        try:
+            return {"one_shot": ONE_SHOT, "recompute": RECOMPUTE, "sliding": SLIDING}[name]
+        except KeyError:
+            raise ValueError(f"unknown variant bundle {name!r}") from None
+
+
+@dataclass(frozen=True)
+class DiscriminationReport:
+    """Why one candidate was kept or rejected."""
+
+    kept: bool
+    reason: str
+    #: Achieved cost per probed solver (errored solvers are absent).
+    costs: Mapping[str, int] = field(default_factory=dict)
+    #: In-solver wall time per probed solver.
+    walls: Mapping[str, float] = field(default_factory=dict)
+    errors: Mapping[str, str] = field(default_factory=dict)
+    best_cost: Optional[int] = None
+    best_solver: Optional[str] = None
+    lower_bound: Optional[int] = None
+
+
+@dataclass
+class BuildReport:
+    """What one :func:`build_corpus` run did."""
+
+    generated: int = 0
+    kept: int = 0
+    duplicates: int = 0
+    rejected: int = 0
+    solver_errors: int = 0
+    elapsed_s: float = 0.0
+    hit_target: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "generated": self.generated,
+            "kept": self.kept,
+            "duplicates": self.duplicates,
+            "rejected": self.rejected,
+            "solver_errors": self.solver_errors,
+            "elapsed_s": self.elapsed_s,
+            "hit_target": self.hit_target,
+        }
+
+
+def _candidate(config: FuzzConfig, index: int) -> Optional[PebblingProblem]:
+    """Candidate ``index`` of the sweep, or ``None`` when its draw falls
+    outside the node window (the caller just moves on to ``index + 1``)."""
+    cand_seed = config.seed * _SEED_STRIDE + index
+    rng = np.random.default_rng(cand_seed)
+    generator = config.generators[int(rng.integers(0, len(config.generators)))]
+    if generator == "layered":
+        layers = int(rng.integers(config.min_layers, config.max_layers + 1))
+        sizes = [
+            int(rng.integers(config.min_layer_width, config.max_layer_width + 1))
+            for _ in range(layers)
+        ]
+        edge_p = float(rng.choice(config.edge_probabilities))
+        cap = config.fanin_caps[int(rng.integers(0, len(config.fanin_caps)))]
+        if sum(sizes) < config.min_nodes or sum(sizes) > config.max_nodes:
+            return None
+        dag = random_layered_dag(
+            sizes, edge_probability=edge_p, max_in_degree=cap, seed=cand_seed
+        )
+    elif generator == "uniform":
+        n = int(rng.integers(config.min_nodes, config.max_nodes + 1))
+        edge_p = float(rng.choice(config.edge_probabilities))
+        dag = random_dag(n, edge_probability=min(edge_p, 0.5), seed=cand_seed)
+    else:
+        raise ValueError(f"unknown generator {generator!r} in FuzzConfig.generators")
+
+    game = config.games[int(rng.integers(0, len(config.games)))]
+    variant_name = config.variants[int(rng.integers(0, len(config.variants)))]
+    if variant_name == "sliding" and game != "rbp":
+        variant_name = "one_shot"  # sliding is an RBP-only rule (App. B.2)
+    r = dag.max_in_degree + config.r_offsets[int(rng.integers(0, len(config.r_offsets)))]
+    return PebblingProblem(dag, r=r, game=game, variant=config.variant_of(variant_name))
+
+
+def sweep_instances(
+    config: FuzzConfig, start: int = 0, count: Optional[int] = None
+) -> Iterator[Tuple[int, PebblingProblem]]:
+    """Enumerate ``(candidate index, problem)`` pairs of the seeded sweep.
+
+    The stream is a pure function of ``config`` — consuming it twice yields
+    identical problems.  ``start``/``count`` window the candidate indices so
+    a long build can resume where it stopped.
+    """
+    produced = 0
+    index = start
+    while count is None or produced < count:
+        problem = _candidate(config, index)
+        index += 1
+        if problem is None:
+            continue
+        yield index - 1, problem
+        produced += 1
+
+
+def _probe_solvers(config: FuzzConfig, problem: PebblingProblem) -> List[str]:
+    solvers = list(config.solvers)
+    if problem.n <= config.exact_node_limit and "exhaustive" not in solvers:
+        solvers.append("exhaustive")
+    return solvers
+
+
+def discriminates(
+    problem: PebblingProblem,
+    config: Optional[FuzzConfig] = None,
+    jobs: int = 1,
+) -> DiscriminationReport:
+    """Probe one instance with the configured solvers and judge it.
+
+    Kept when at least two solvers succeed and either (a) they disagree on
+    cost, or (b) the slowest took ``wall_spread``× longer than the fastest
+    (and at least ``min_wall_s`` — sub-millisecond spreads are timer noise).
+    """
+    config = config or FuzzConfig()
+    solvers = _probe_solvers(config, problem)
+    outcomes = solve_many(
+        [problem] * len(solvers),
+        solver=solvers,
+        jobs=jobs if jobs > 1 else None,
+        timeout_s=config.instance_timeout_s if jobs > 1 else None,
+        return_exceptions=True,
+    )
+    costs: Dict[str, int] = {}
+    walls: Dict[str, float] = {}
+    errors: Dict[str, str] = {}
+    lower_bound: Optional[int] = None
+    for solver, outcome in zip(solvers, outcomes):
+        if isinstance(outcome, SolveResult):
+            costs[solver] = outcome.cost
+            if outcome.solve_stats is not None:
+                walls[solver] = outcome.solve_stats.wall_time_s
+            if outcome.lower_bound is not None:
+                lower_bound = max(lower_bound or 0, outcome.lower_bound)
+        else:
+            errors[solver] = str(outcome)
+
+    if len(costs) < 2:
+        return DiscriminationReport(
+            kept=False,
+            reason=f"only {len(costs)} of {len(solvers)} solvers succeeded",
+            costs=costs,
+            walls=walls,
+            errors=errors,
+            lower_bound=lower_bound,
+        )
+    best_solver = min(costs, key=lambda name: (costs[name], name))
+    best_cost = costs[best_solver]
+    if len(set(costs.values())) > 1:
+        return DiscriminationReport(
+            kept=True,
+            reason=f"costs disagree: { {k: v for k, v in sorted(costs.items())} }",
+            costs=costs,
+            walls=walls,
+            errors=errors,
+            best_cost=best_cost,
+            best_solver=best_solver,
+            lower_bound=lower_bound,
+        )
+    if config.wall_spread is not None and len(walls) >= 2:
+        slowest, fastest = max(walls.values()), min(walls.values())
+        if slowest >= config.min_wall_s and slowest > config.wall_spread * max(fastest, 1e-9):
+            return DiscriminationReport(
+                kept=True,
+                reason=f"wall spread {slowest / max(fastest, 1e-9):.1f}x (>{config.wall_spread}x)",
+                costs=costs,
+                walls=walls,
+                errors=errors,
+                best_cost=best_cost,
+                best_solver=best_solver,
+                lower_bound=lower_bound,
+            )
+    return DiscriminationReport(
+        kept=False,
+        reason="all solvers agree",
+        costs=costs,
+        walls=walls,
+        errors=errors,
+        best_cost=best_cost,
+        best_solver=best_solver,
+        lower_bound=lower_bound,
+    )
+
+
+def build_corpus(
+    store: CorpusStore,
+    target: int = 500,
+    budget_s: float = 60.0,
+    config: Optional[FuzzConfig] = None,
+    source: Optional[str] = None,
+    jobs: int = 1,
+    progress: Optional[Callable[[BuildReport], None]] = None,
+    progress_every: int = 50,
+) -> BuildReport:
+    """Fuzz until ``target`` instances are stored or ``budget_s`` runs out.
+
+    Candidates already in the store (same content digest) count as
+    duplicates and are skipped without re-probing; kept instances are stored
+    with their best probed cost, the solver that achieved it, and the best
+    lower bound the probes surfaced.  ``progress`` (if given) is invoked
+    with the running :class:`BuildReport` every ``progress_every``
+    candidates.
+    """
+    config = config or FuzzConfig()
+    if source is None:
+        source = f"fuzz:seed={config.seed}"
+    report = BuildReport()
+    started = time.monotonic()
+    for index, problem in sweep_instances(config):
+        if report.kept >= target:
+            report.hit_target = True
+            break
+        if time.monotonic() - started > budget_s:
+            break
+        report.generated += 1
+        verdict = discriminates(problem, config=config, jobs=jobs)
+        report.solver_errors += len(verdict.errors)
+        if not verdict.kept:
+            report.rejected += 1
+        elif store.add(
+            problem,
+            source=source,
+            lower_bound=verdict.lower_bound,
+            best_cost=verdict.best_cost,
+            best_solver=verdict.best_solver,
+        ):
+            report.kept += 1
+        else:
+            report.duplicates += 1
+        if progress is not None and report.generated % max(1, progress_every) == 0:
+            report.elapsed_s = time.monotonic() - started
+            progress(report)
+    report.hit_target = report.kept >= target
+    report.elapsed_s = time.monotonic() - started
+    return report

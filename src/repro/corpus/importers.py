@@ -1,0 +1,501 @@
+"""Turn external computation graphs into :class:`PebblingProblem`\\ s.
+
+Three ingestion routes, from most to least portable:
+
+* the **JSON graph-dump** format — a dependency-free, hand-writable document
+  (``{"format": "repro-graph-dump", "version": 1, "edges": [[0, 1], ...]}``)
+  that round-trips everything a problem carries: nodes, edges, labels, the
+  capacity/game/variant triple and an optional family tag.  This is the
+  baseline every environment can produce;
+* **ONNX** models (``problem_from_onnx``) — one DAG node per ONNX operator,
+  plus one source node per graph input/initializer, edges following tensor
+  names;
+* **torch.fx** graph modules (``problem_from_torch_fx``) — one DAG node per
+  fx node, ``placeholder``/``get_attr`` nodes as sources, edges following
+  ``all_input_nodes``.
+
+The optional adapters never import their heavy dependency at module import
+time; when the library is absent they raise :class:`CorpusImportError` with
+an actionable message, so ``repro.corpus`` stays importable everywhere.
+Every route funnels malformed input — cycles, self-loops, duplicate or
+out-of-range edges, missing fields — into :class:`CorpusImportError` as
+well: an importer rejects, it never crashes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..api.problem import GAMES, PebblingProblem
+from ..core.dag import ComputationalDAG, DAGFamily, Edge
+from ..core.exceptions import DAGError, PebblingError
+from ..core.variants import ONE_SHOT, GameVariant
+
+__all__ = [
+    "CorpusImportError",
+    "GRAPH_DUMP_FORMAT",
+    "GRAPH_DUMP_VERSION",
+    "problem_from_graph_dump",
+    "problem_to_graph_dump",
+    "load_graph_dump",
+    "save_graph_dump",
+    "problem_from_onnx",
+    "problem_from_torch_fx",
+]
+
+#: The ``format`` field every graph-dump document must carry.
+GRAPH_DUMP_FORMAT = "repro-graph-dump"
+
+#: Current graph-dump document version (documents of a newer version are
+#: rejected rather than half-read).
+GRAPH_DUMP_VERSION = 1
+
+_VARIANT_FIELDS = (
+    "one_shot",
+    "allow_sliding",
+    "allow_delete",
+    "compute_cost",
+    "split_compute_cost",
+)
+
+
+class CorpusImportError(PebblingError):
+    """An external graph could not be turned into a pebbling problem."""
+
+
+def _fail(message: str) -> "CorpusImportError":
+    return CorpusImportError(message)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise _fail(message)
+
+
+def _is_int(value: object) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+# --------------------------------------------------------------------------- #
+# the JSON graph-dump baseline format
+# --------------------------------------------------------------------------- #
+
+
+def _json_to_param(value: object) -> object:
+    """JSON value -> family-param value (lists become tuples, recursively).
+
+    :class:`DAGFamily` params follow the :mod:`repro.dags` convention of
+    tuples for sequences (the tag must stay hashable), which JSON cannot
+    express; round-tripping through a dump therefore maps list -> tuple.
+    """
+    if isinstance(value, list):
+        return tuple(_json_to_param(item) for item in value)
+    return value
+
+
+def _param_to_json(value: object) -> object:
+    if isinstance(value, (tuple, list)):
+        return [_param_to_json(item) for item in value]
+    return value
+
+
+def _family_from_doc(doc: object) -> Optional[DAGFamily]:
+    if doc is None:
+        return None
+    _require(isinstance(doc, Mapping), "'family' must be an object or null")
+    assert isinstance(doc, Mapping)
+    name = doc.get("name")
+    _require(isinstance(name, str) and bool(name), "family 'name' must be a non-empty string")
+    params = doc.get("params", {})
+    _require(isinstance(params, Mapping), "family 'params' must be an object")
+    assert isinstance(params, Mapping)
+    pairs: Dict[str, object] = {}
+    for key, value in params.items():
+        _require(isinstance(key, str), "family param keys must be strings")
+        pairs[key] = _json_to_param(value)
+    return DAGFamily.tag(str(name), **pairs)
+
+
+def _variant_from_doc(doc: object) -> GameVariant:
+    if doc is None:
+        return ONE_SHOT
+    _require(isinstance(doc, Mapping), "'variant' must be an object or null")
+    assert isinstance(doc, Mapping)
+    unknown = set(doc) - set(_VARIANT_FIELDS)
+    _require(not unknown, f"unknown variant fields {sorted(unknown)!r}")
+    try:
+        return GameVariant(
+            one_shot=bool(doc.get("one_shot", True)),
+            allow_sliding=bool(doc.get("allow_sliding", False)),
+            allow_delete=bool(doc.get("allow_delete", True)),
+            compute_cost=float(doc.get("compute_cost", 0.0)),
+            split_compute_cost=bool(doc.get("split_compute_cost", False)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise _fail(f"invalid variant: {exc}") from exc
+
+
+def _edges_from_doc(doc: object) -> List[Edge]:
+    _require(isinstance(doc, list), "'edges' must be a list of [u, v] pairs")
+    assert isinstance(doc, list)
+    edges: List[Edge] = []
+    for item in doc:
+        _require(
+            isinstance(item, (list, tuple)) and len(item) == 2 and all(_is_int(x) for x in item),
+            f"each edge must be a [u, v] pair of integers, got {item!r}",
+        )
+        edges.append((int(item[0]), int(item[1])))
+    return edges
+
+
+def problem_from_graph_dump(doc: Mapping[str, object]) -> PebblingProblem:
+    """Build a :class:`PebblingProblem` from one graph-dump document.
+
+    Required fields: ``format`` (must equal :data:`GRAPH_DUMP_FORMAT`),
+    ``version`` (``<=`` :data:`GRAPH_DUMP_VERSION`) and ``edges``.  Optional:
+    ``n`` (inferred as ``max node id + 1`` when absent), ``name``,
+    ``labels`` (list of ``n`` strings or an ``{"id": "label"}`` object),
+    ``r`` (defaults to ``max_in_degree + 1``, the smallest generally
+    feasible capacity), ``game`` (default ``"prbp"``), ``variant`` and
+    ``family``.
+
+    Raises
+    ------
+    CorpusImportError
+        On any malformed document — including cyclic graphs, self-loops,
+        duplicate edges and edges referencing nodes outside ``0..n-1``.
+    """
+    _require(isinstance(doc, Mapping), "a graph dump must be a JSON object")
+    fmt = doc.get("format")
+    _require(
+        fmt == GRAPH_DUMP_FORMAT,
+        f"'format' must be {GRAPH_DUMP_FORMAT!r}, got {fmt!r}",
+    )
+    version = doc.get("version")
+    _require(_is_int(version), "'version' must be an integer")
+    _require(
+        int(version) <= GRAPH_DUMP_VERSION,  # type: ignore[arg-type]
+        f"graph-dump version {version} is newer than the supported {GRAPH_DUMP_VERSION}",
+    )
+    edges = _edges_from_doc(doc.get("edges"))
+
+    n_doc = doc.get("n")
+    if n_doc is None:
+        n = max((max(u, v) + 1 for u, v in edges), default=0)
+    else:
+        _require(_is_int(n_doc) and int(n_doc) >= 0, "'n' must be a non-negative integer")  # type: ignore[arg-type]
+        n = int(n_doc)  # type: ignore[arg-type]
+
+    labels_doc = doc.get("labels")
+    labels: Optional[Dict[int, str]] = None
+    if labels_doc is not None:
+        if isinstance(labels_doc, list):
+            _require(
+                len(labels_doc) == n and all(isinstance(lb, str) for lb in labels_doc),
+                "'labels' as a list must hold exactly n strings",
+            )
+            labels = {v: labels_doc[v] for v in range(n)}
+        elif isinstance(labels_doc, Mapping):
+            labels = {}
+            for key, value in labels_doc.items():
+                try:
+                    node = int(key)
+                except (TypeError, ValueError):
+                    raise _fail(f"label key {key!r} is not a node id") from None
+                _require(0 <= node < n, f"label key {key!r} is outside 0..{n - 1}")
+                _require(isinstance(value, str), f"label for node {node} must be a string")
+                labels[node] = value
+        else:
+            raise _fail("'labels' must be a list of strings or an id->label object")
+
+    name = doc.get("name", "imported")
+    _require(isinstance(name, str) and bool(name), "'name' must be a non-empty string")
+
+    game = doc.get("game", "prbp")
+    _require(game in GAMES, f"'game' must be one of {GAMES}, got {game!r}")
+
+    try:
+        dag = ComputationalDAG(
+            n,
+            edges,
+            labels=labels,
+            name=str(name),
+            family=_family_from_doc(doc.get("family")),
+        )
+        dag.validate_no_isolated()
+    except DAGError as exc:
+        raise _fail(f"the dumped graph is not a valid DAG: {exc}") from exc
+
+    r_doc = doc.get("r")
+    if r_doc is None:
+        r = dag.max_in_degree + 1
+    else:
+        _require(_is_int(r_doc) and int(r_doc) >= 1, "'r' must be an integer >= 1")  # type: ignore[arg-type]
+        r = int(r_doc)  # type: ignore[arg-type]
+
+    try:
+        return PebblingProblem(
+            dag, r=r, game=str(game), variant=_variant_from_doc(doc.get("variant"))
+        )
+    except (TypeError, ValueError) as exc:
+        raise _fail(f"the dump does not describe a valid problem: {exc}") from exc
+
+
+def problem_to_graph_dump(problem: PebblingProblem) -> Dict[str, object]:
+    """Serialize a problem as a graph-dump document (the importer's inverse).
+
+    ``problem_from_graph_dump(problem_to_graph_dump(p))`` rebuilds an
+    instance with the identical content digest: nodes, edges, labels, name,
+    family tag and the capacity/game/variant triple all round-trip.
+    """
+    dag = problem.dag
+    fam = dag.family
+    variant = problem.variant
+    doc: Dict[str, object] = {
+        "format": GRAPH_DUMP_FORMAT,
+        "version": GRAPH_DUMP_VERSION,
+        "name": dag.name,
+        "n": dag.n,
+        "edges": [[u, v] for u, v in dag.edges],
+        "labels": [dag.label(v) for v in range(dag.n)],
+        "r": problem.r,
+        "game": problem.game,
+        "variant": {field: getattr(variant, field) for field in _VARIANT_FIELDS},
+    }
+    if fam is not None:
+        doc["family"] = {
+            "name": fam.name,
+            "params": {key: _param_to_json(value) for key, value in fam.params},
+        }
+    return doc
+
+
+def load_graph_dump(path: Union[str, Path]) -> List[PebblingProblem]:
+    """Read one graph-dump file: a single document or a JSON array of them.
+
+    Raises
+    ------
+    CorpusImportError
+        If the file is unreadable, not JSON, or any contained document is
+        rejected by :func:`problem_from_graph_dump`.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise _fail(f"cannot read {path}: {exc}") from exc
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise _fail(f"{path} is not valid JSON: {exc}") from exc
+    docs = doc if isinstance(doc, list) else [doc]
+    problems = []
+    for index, item in enumerate(docs):
+        try:
+            problems.append(problem_from_graph_dump(item))
+        except CorpusImportError as exc:
+            raise _fail(f"{path}[{index}]: {exc}") from exc
+    return problems
+
+
+def save_graph_dump(
+    problems: Union[PebblingProblem, Sequence[PebblingProblem]], path: Union[str, Path]
+) -> None:
+    """Write one problem (single document) or several (JSON array) to ``path``."""
+    if isinstance(problems, PebblingProblem):
+        payload: object = problem_to_graph_dump(problems)
+    else:
+        payload = [problem_to_graph_dump(p) for p in problems]
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+# --------------------------------------------------------------------------- #
+# optional adapters: ONNX and torch.fx
+# --------------------------------------------------------------------------- #
+
+
+def _dag_from_named_nodes(
+    names: List[str],
+    edge_pairs: List[Tuple[str, str]],
+    name: str,
+    family: DAGFamily,
+) -> ComputationalDAG:
+    """Build a DAG from string-named nodes and (producer, consumer) pairs."""
+    index = {node: i for i, node in enumerate(names)}
+    _require(len(index) == len(names), "imported node names must be unique")
+    seen = set()
+    edges: List[Edge] = []
+    for tail, head in edge_pairs:
+        pair = (index[tail], index[head])
+        if pair in seen:
+            continue  # two tensors flowing between the same operator pair
+        seen.add(pair)
+        edges.append(pair)
+    labels = {i: node for node, i in index.items()}
+    try:
+        dag = ComputationalDAG(len(names), edges, labels=labels, name=name, family=family)
+        dag.validate_no_isolated()
+    except DAGError as exc:
+        raise _fail(f"the imported graph is not a valid DAG: {exc}") from exc
+    return dag
+
+
+def _finish_imported(
+    dag: ComputationalDAG, r: Optional[int], game: str, variant: Optional[GameVariant]
+) -> PebblingProblem:
+    _require(game in GAMES, f"'game' must be one of {GAMES}, got {game!r}")
+    if r is None:
+        r = dag.max_in_degree + 1
+    _require(_is_int(r) and r >= 1, "'r' must be an integer >= 1")
+    try:
+        return PebblingProblem(dag, r=int(r), game=game, variant=variant or ONE_SHOT)
+    except (TypeError, ValueError) as exc:
+        raise _fail(f"the imported graph does not form a valid problem: {exc}") from exc
+
+
+def _onnx_graph_to_problem(
+    graph: object, r: Optional[int], game: str, variant: Optional[GameVariant]
+) -> PebblingProblem:
+    """The dependency-free core of the ONNX adapter (duck-typed on the proto).
+
+    One DAG node per operator plus one per graph input/initializer; an edge
+    per tensor flowing from its producer to a consuming operator.  Tensors
+    without a recorded producer (e.g. ``value_info`` entries of a subgraph)
+    become additional source nodes, so partial exports still import.
+    """
+    node_names: List[str] = []
+    producer_of: Dict[str, str] = {}  # tensor name -> DAG node name
+
+    def add(name: str) -> str:
+        node_names.append(name)
+        return name
+
+    for value in list(getattr(graph, "input", ())) + list(getattr(graph, "initializer", ())):
+        tensor = getattr(value, "name", "")
+        if tensor and tensor not in producer_of:
+            producer_of[tensor] = add(f"in:{tensor}")
+
+    operators = list(getattr(graph, "node", ()))
+    _require(bool(operators), "the ONNX graph contains no operator nodes")
+    op_names: List[str] = []
+    for i, op in enumerate(operators):
+        op_type = getattr(op, "op_type", "node")
+        label = getattr(op, "name", "") or f"{op_type}_{i}"
+        node_name = add(f"op:{label}")
+        op_names.append(node_name)
+        for tensor in getattr(op, "output", ()):
+            if tensor:
+                producer_of[tensor] = node_name
+
+    edge_pairs: List[Tuple[str, str]] = []
+    for op, node_name in zip(operators, op_names):
+        for tensor in getattr(op, "input", ()):
+            if not tensor:
+                continue  # ONNX encodes omitted optional inputs as ""
+            if tensor not in producer_of:
+                producer_of[tensor] = add(f"in:{tensor}")
+            edge_pairs.append((producer_of[tensor], node_name))
+
+    graph_name = getattr(graph, "name", "") or "onnx-graph"
+    dag = _dag_from_named_nodes(
+        node_names,
+        edge_pairs,
+        name=f"onnx:{graph_name}",
+        family=DAGFamily.tag("onnx", graph=str(graph_name), operators=len(operators)),
+    )
+    return _finish_imported(dag, r, game, variant)
+
+
+def problem_from_onnx(
+    source: object,
+    r: Optional[int] = None,
+    game: str = "prbp",
+    variant: Optional[GameVariant] = None,
+) -> PebblingProblem:
+    """Import an ONNX model as a pebbling problem.
+
+    ``source`` is a path to a ``.onnx`` file, an already-loaded
+    ``onnx.ModelProto``, or a bare ``GraphProto``.  Requires the optional
+    ``onnx`` package only when given a path; loaded protos import without it.
+
+    Raises
+    ------
+    CorpusImportError
+        When ``onnx`` is not installed (for path input), or the model's
+        graph is empty, cyclic or otherwise malformed.
+    """
+    graph = getattr(source, "graph", None)  # ModelProto carries .graph
+    if graph is None and hasattr(source, "node"):
+        graph = source  # already a GraphProto
+    if graph is None:
+        try:
+            import onnx  # noqa: PLC0415 — the optional dependency gate
+        except ImportError as exc:
+            raise _fail(
+                "importing an ONNX model from a path needs the optional 'onnx' package "
+                "(pip install onnx), which is not installed; alternatively pass a "
+                "pre-loaded ModelProto/GraphProto, or export the graph as a "
+                f"{GRAPH_DUMP_FORMAT!r} JSON document and use problem_from_graph_dump"
+            ) from exc
+        try:
+            graph = onnx.load(str(source)).graph
+        except Exception as exc:  # noqa: BLE001 — any parse failure is an import error
+            raise _fail(f"onnx could not load {source!r}: {exc}") from exc
+    return _onnx_graph_to_problem(graph, r, game, variant)
+
+
+def problem_from_torch_fx(
+    module: object,
+    r: Optional[int] = None,
+    game: str = "prbp",
+    variant: Optional[GameVariant] = None,
+) -> PebblingProblem:
+    """Import a ``torch.fx`` graph as a pebbling problem.
+
+    ``module`` is a traced ``torch.fx.GraphModule`` (anything exposing
+    ``.graph.nodes`` in fx's shape works — no torch import is needed then).
+    A plain ``nn.Module`` is symbolically traced first, which *does* need
+    torch and degrades to :class:`CorpusImportError` without it.
+
+    ``placeholder`` and ``get_attr`` nodes become sources, the ``output``
+    collector node is dropped (its inputs are the sinks), every other fx
+    node becomes one DAG node with edges from ``all_input_nodes``.
+    """
+    graph = getattr(module, "graph", None)
+    if graph is None or not hasattr(graph, "nodes"):
+        try:
+            from torch.fx import symbolic_trace  # noqa: PLC0415 — optional dependency gate
+        except ImportError as exc:
+            raise _fail(
+                "importing a torch module needs the optional 'torch' package "
+                "(pip install torch), which is not installed; alternatively pass an "
+                "already-traced fx GraphModule, or export the graph as a "
+                f"{GRAPH_DUMP_FORMAT!r} JSON document and use problem_from_graph_dump"
+            ) from exc
+        try:
+            graph = symbolic_trace(module).graph
+        except Exception as exc:  # noqa: BLE001 — any trace failure is an import error
+            raise _fail(f"torch.fx could not trace {type(module).__name__}: {exc}") from exc
+
+    fx_nodes = [node for node in graph.nodes if getattr(node, "op", None) != "output"]
+    _require(bool(fx_nodes), "the fx graph contains no computation nodes")
+    names: List[str] = []
+    kept = set()
+    for node in fx_nodes:
+        node_name = str(getattr(node, "name", "")) or f"node_{len(names)}"
+        names.append(node_name)
+        kept.add(node_name)
+    edge_pairs: List[Tuple[str, str]] = []
+    for node, node_name in zip(fx_nodes, names):
+        for producer in getattr(node, "all_input_nodes", ()):
+            producer_name = str(getattr(producer, "name", ""))
+            if producer_name in kept:
+                edge_pairs.append((producer_name, node_name))
+    dag = _dag_from_named_nodes(
+        names,
+        edge_pairs,
+        name="torch-fx-graph",
+        family=DAGFamily.tag("torch_fx", operators=len(fx_nodes)),
+    )
+    return _finish_imported(dag, r, game, variant)

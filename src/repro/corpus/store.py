@@ -1,0 +1,667 @@
+"""The SQLite-backed corpus store: thousands of instances, queryable.
+
+:class:`CorpusStore` keeps one row per pebbling instance, keyed by the
+WL-canonical content digest of :func:`repro.api.cache.problem_digest` —
+the same identity the result cache and the service use, so a corpus row, a
+cache entry and a service request about the same instance all agree on what
+"the same" means.  Each row carries:
+
+* the full problem payload (the service wire codec's JSON document, digest-
+  checked on every rebuild — a corrupted row rejects instead of solving the
+  wrong graph);
+* the structural feature columns of
+  :class:`~repro.corpus.features.InstanceFeatures`, so filter queries never
+  rebuild a DAG;
+* provenance (``source``: which importer or fuzz sweep produced it) and the
+  best known solution (``best_cost`` / ``best_solver``, upserted
+  *monotonically* — a worse cost can never replace a better one — plus the
+  best lower bound known at ingest).
+
+Queries follow the PaperSpider workbench model: a list of **must** filters
+(all required), **should** filters (at least ``min_should`` required) and
+**must-not** filters (all excluded), each a small ``field op value``
+predicate (``"n<=64"``, ``"family=random_layered"``, ``"depth>=5"``).
+Deterministic sampling (:meth:`CorpusStore.sample`) hashes ``seed:digest``
+and takes the smallest keys, so a committed corpus file yields the same
+sample on every machine and Python version — the property the bench gate
+relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..api.cache import problem_digest
+from ..api.problem import PebblingProblem
+from ..core.canonical import dag_digest
+from .features import InstanceFeatures, extract_features
+from .importers import CorpusImportError
+
+__all__ = [
+    "CORPUS_SCHEMA_VERSION",
+    "CorpusInstance",
+    "CorpusStore",
+    "Filter",
+    "parse_filter",
+]
+
+#: Bumped whenever the table layout or the JSONL line shape changes.
+CORPUS_SCHEMA_VERSION = 1
+
+#: Queryable columns and whether values parse as numbers or strings.
+_FILTER_FIELDS: Dict[str, str] = {
+    "digest": "text",
+    "canonical": "text",
+    "name": "text",
+    "source": "text",
+    "family": "text",
+    "game": "text",
+    "best_solver": "text",
+    "r": "int",
+    "n": "int",
+    "m": "int",
+    "depth": "int",
+    "width": "int",
+    "max_in_degree": "int",
+    "max_out_degree": "int",
+    "n_sources": "int",
+    "n_sinks": "int",
+    "trivial_cost": "int",
+    "lower_bound": "int",
+    "best_cost": "int",
+}
+
+#: Comparison operators, longest first so ``<=`` is not read as ``<``.
+_OPERATORS: Tuple[Tuple[str, str], ...] = (
+    ("<=", "<="),
+    (">=", ">="),
+    ("!=", "!="),
+    ("==", "="),
+    ("<", "<"),
+    (">", ">"),
+    ("=", "="),
+)
+
+
+@dataclass(frozen=True)
+class Filter:
+    """One ``field op value`` predicate over the corpus feature columns."""
+
+    field: str
+    op: str
+    value: Union[int, float, str]
+
+    def __str__(self) -> str:
+        return f"{self.field}{self.op}{self.value}"
+
+    def sql(self) -> Tuple[str, Union[int, float, str]]:
+        """The predicate as a parametrized SQL fragment.
+
+        NULL-able columns (``lower_bound``, ``best_cost``, ...) compare as
+        *no match*: a NULL never satisfies a must/should predicate, and a
+        must-not predicate never excludes a row for a NULL (``COALESCE``
+        pins the three-valued logic down to plain true/false).
+        """
+        return f"COALESCE({self.field} {self.op} ?, 0)", self.value
+
+
+def parse_filter(text: str) -> Filter:
+    """Parse ``"n<=64"`` / ``"family=random_layered"`` into a :class:`Filter`.
+
+    Raises
+    ------
+    ValueError
+        On an unknown field, a missing operator, or a non-numeric value for
+        a numeric field (the message names the valid fields).
+    """
+    for token, op in _OPERATORS:
+        index = text.find(token)
+        if index > 0:
+            field = text[:index].strip()
+            raw = text[index + len(token) :].strip()
+            break
+    else:
+        raise ValueError(
+            f"no comparison operator in filter {text!r} "
+            f"(expected field OP value with OP one of <=, >=, !=, ==, <, >, =)"
+        )
+    if field not in _FILTER_FIELDS:
+        raise ValueError(
+            f"unknown filter field {field!r}; valid fields: {', '.join(sorted(_FILTER_FIELDS))}"
+        )
+    value: Union[int, float, str]
+    if _FILTER_FIELDS[field] == "int":
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                raise ValueError(f"filter {text!r}: {raw!r} is not a number") from None
+    else:
+        if op not in ("=", "!="):
+            raise ValueError(f"filter {text!r}: string fields support only = and !=")
+        value = raw
+    return Filter(field, op, value)
+
+
+def _coerce_filters(filters: Optional[Iterable[Union[str, Filter]]]) -> List[Filter]:
+    return [f if isinstance(f, Filter) else parse_filter(f) for f in (filters or [])]
+
+
+@dataclass(frozen=True)
+class CorpusInstance:
+    """One stored instance: identity, provenance, features, best solution."""
+
+    digest: str
+    canonical: str
+    name: str
+    source: str
+    features: InstanceFeatures
+    lower_bound: Optional[int]
+    best_cost: Optional[int]
+    best_solver: Optional[str]
+    problem_doc: Dict[str, object]
+
+    def problem(self) -> PebblingProblem:
+        """Rebuild the stored problem (wire-codec digest check included).
+
+        Raises
+        ------
+        CorpusImportError
+            If the stored payload no longer matches its content digest —
+            a corrupted or tampered row refuses to produce a problem.
+        """
+        from ..service.protocol import ProtocolError, problem_from_wire
+
+        try:
+            problem = problem_from_wire(self.problem_doc)
+        except ProtocolError as exc:
+            raise CorpusImportError(
+                f"stored instance {self.digest[:12]} is corrupt: {exc}"
+            ) from exc
+        if problem_digest(problem) != self.digest:
+            raise CorpusImportError(
+                f"stored instance {self.digest[:12]} rebuilds to a different digest"
+            )
+        return problem
+
+
+_CREATE_TABLE = f"""
+CREATE TABLE IF NOT EXISTS instances (
+    digest TEXT PRIMARY KEY,
+    canonical TEXT NOT NULL,
+    name TEXT NOT NULL,
+    source TEXT NOT NULL,
+    family TEXT,
+    family_params TEXT NOT NULL,
+    game TEXT NOT NULL,
+    variant TEXT NOT NULL,
+    r INTEGER NOT NULL,
+    n INTEGER NOT NULL,
+    m INTEGER NOT NULL,
+    depth INTEGER NOT NULL,
+    width INTEGER NOT NULL,
+    max_in_degree INTEGER NOT NULL,
+    max_out_degree INTEGER NOT NULL,
+    n_sources INTEGER NOT NULL,
+    n_sinks INTEGER NOT NULL,
+    trivial_cost INTEGER NOT NULL,
+    lower_bound INTEGER,
+    best_cost INTEGER,
+    best_solver TEXT,
+    problem TEXT NOT NULL
+);
+-- the filterable axes the bench source and the CLI query most
+CREATE INDEX IF NOT EXISTS idx_instances_family ON instances (family);
+CREATE INDEX IF NOT EXISTS idx_instances_n ON instances (n);
+CREATE INDEX IF NOT EXISTS idx_instances_canonical ON instances (canonical);
+PRAGMA user_version = {CORPUS_SCHEMA_VERSION};
+"""
+
+
+class CorpusStore:
+    """A SQLite-backed corpus of pebbling instances (see module docstring).
+
+    Parameters
+    ----------
+    path:
+        Database file, created on first use; ``":memory:"`` keeps the corpus
+        in memory (used by tests and by JSONL-backed bench sampling).
+
+    The store is a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.row_factory = sqlite3.Row
+        version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+        if version > CORPUS_SCHEMA_VERSION:
+            self._conn.close()
+            raise CorpusImportError(
+                f"{self.path} uses corpus schema {version}, newer than the "
+                f"supported {CORPUS_SCHEMA_VERSION}; upgrade repro-prbp to read it"
+            )
+        self._conn.executescript(_CREATE_TABLE)
+        self._conn.commit()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "CorpusStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return int(self._conn.execute("SELECT COUNT(*) FROM instances").fetchone()[0])
+
+    # ------------------------------------------------------------------ #
+    # ingest
+    # ------------------------------------------------------------------ #
+
+    def add(
+        self,
+        problem: PebblingProblem,
+        source: str = "manual",
+        lower_bound: Optional[int] = None,
+        best_cost: Optional[int] = None,
+        best_solver: Optional[str] = None,
+    ) -> bool:
+        """Insert one instance; returns False (and changes nothing) on a dup.
+
+        A duplicate — same content digest — still merges a better
+        ``best_cost`` via :meth:`update_best`, so re-ingesting a corpus
+        never loses solution knowledge and never duplicates rows.
+        """
+        from ..service.protocol import problem_to_wire
+
+        digest = problem_digest(problem)
+        if self.contains(digest):
+            if best_cost is not None:
+                self.update_best(digest, best_cost, best_solver or "unknown")
+            return False
+        features = extract_features(problem)
+        self._conn.execute(
+            """
+            INSERT INTO instances (
+                digest, canonical, name, source, family, family_params, game,
+                variant, r, n, m, depth, width, max_in_degree, max_out_degree,
+                n_sources, n_sinks, trivial_cost, lower_bound, best_cost,
+                best_solver, problem
+            ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+            """,
+            (
+                digest,
+                dag_digest(problem.dag, exact=False),
+                problem.dag.name,
+                source,
+                features.family,
+                json.dumps(features.family_params, sort_keys=True, default=repr),
+                problem.game,
+                json.dumps(
+                    {
+                        "one_shot": problem.variant.one_shot,
+                        "allow_sliding": problem.variant.allow_sliding,
+                        "allow_delete": problem.variant.allow_delete,
+                        "compute_cost": problem.variant.compute_cost,
+                        "split_compute_cost": problem.variant.split_compute_cost,
+                    },
+                    sort_keys=True,
+                ),
+                features.r,
+                features.n,
+                features.m,
+                features.depth,
+                features.width,
+                features.max_in_degree,
+                features.max_out_degree,
+                features.n_sources,
+                features.n_sinks,
+                features.trivial_cost,
+                lower_bound,
+                best_cost,
+                best_solver,
+                json.dumps(problem_to_wire(problem), sort_keys=True),
+            ),
+        )
+        self._conn.commit()
+        return True
+
+    def contains(self, digest: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM instances WHERE digest = ?", (digest,)
+        ).fetchone()
+        return row is not None
+
+    def update_best(self, digest: str, cost: int, solver: str) -> bool:
+        """Record a solution for ``digest`` — *monotonically*.
+
+        The stored best only ever improves: a cost at or above the current
+        best is ignored (returns False).  Returns True when the row was
+        updated.
+
+        Raises
+        ------
+        KeyError
+            If no instance with that digest is stored.
+        """
+        row = self._conn.execute(
+            "SELECT best_cost FROM instances WHERE digest = ?", (digest,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no corpus instance with digest {digest!r}")
+        current = row["best_cost"]
+        if current is not None and int(cost) >= int(current):
+            return False
+        self._conn.execute(
+            "UPDATE instances SET best_cost = ?, best_solver = ? WHERE digest = ?",
+            (int(cost), solver, digest),
+        )
+        self._conn.commit()
+        return True
+
+    def set_lower_bound(self, digest: str, bound: int) -> bool:
+        """Raise the stored lower bound (bounds only ever tighten upward)."""
+        row = self._conn.execute(
+            "SELECT lower_bound FROM instances WHERE digest = ?", (digest,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no corpus instance with digest {digest!r}")
+        current = row["lower_bound"]
+        if current is not None and int(bound) <= int(current):
+            return False
+        self._conn.execute(
+            "UPDATE instances SET lower_bound = ? WHERE digest = ?", (int(bound), digest)
+        )
+        self._conn.commit()
+        return True
+
+    # ------------------------------------------------------------------ #
+    # query
+    # ------------------------------------------------------------------ #
+
+    def _where(
+        self,
+        must: List[Filter],
+        should: List[Filter],
+        must_not: List[Filter],
+        min_should: int,
+    ) -> Tuple[str, List[Union[int, float, str]]]:
+        clauses: List[str] = []
+        params: List[Union[int, float, str]] = []
+        for f in must:
+            sql, value = f.sql()
+            clauses.append(sql)
+            params.append(value)
+        for f in must_not:
+            sql, value = f.sql()
+            clauses.append(f"NOT {sql}")
+            params.append(value)
+        if should:
+            terms = []
+            for f in should:
+                sql, value = f.sql()
+                terms.append(sql)
+                params.append(value)
+            clauses.append(f"({' + '.join(terms)}) >= {int(min_should)}")
+        return (" AND ".join(clauses) or "1"), params
+
+    def _row_to_instance(self, row: sqlite3.Row) -> CorpusInstance:
+        features = InstanceFeatures(
+            n=row["n"],
+            m=row["m"],
+            depth=row["depth"],
+            width=row["width"],
+            max_in_degree=row["max_in_degree"],
+            max_out_degree=row["max_out_degree"],
+            n_sources=row["n_sources"],
+            n_sinks=row["n_sinks"],
+            trivial_cost=row["trivial_cost"],
+            r=row["r"],
+            game=row["game"],
+            family=row["family"],
+            family_params=json.loads(row["family_params"]),
+        )
+        return CorpusInstance(
+            digest=row["digest"],
+            canonical=row["canonical"],
+            name=row["name"],
+            source=row["source"],
+            features=features,
+            lower_bound=row["lower_bound"],
+            best_cost=row["best_cost"],
+            best_solver=row["best_solver"],
+            problem_doc=json.loads(row["problem"]),
+        )
+
+    def query(
+        self,
+        must: Optional[Iterable[Union[str, Filter]]] = None,
+        should: Optional[Iterable[Union[str, Filter]]] = None,
+        must_not: Optional[Iterable[Union[str, Filter]]] = None,
+        min_should: int = 1,
+        limit: Optional[int] = None,
+        order_by: str = "digest",
+    ) -> List[CorpusInstance]:
+        """All instances matching the filter sets, deterministically ordered.
+
+        ``must`` filters all have to hold, ``must_not`` filters all have to
+        fail, and at least ``min_should`` of the ``should`` filters have to
+        hold (ignored when no should-filters are given).  Filters are
+        :class:`Filter` objects or strings for :func:`parse_filter`.
+        """
+        if order_by not in _FILTER_FIELDS:
+            raise ValueError(f"cannot order by {order_by!r}; valid fields: {', '.join(sorted(_FILTER_FIELDS))}")
+        where, params = self._where(
+            _coerce_filters(must), _coerce_filters(should), _coerce_filters(must_not), min_should
+        )
+        sql = f"SELECT * FROM instances WHERE {where} ORDER BY {order_by}, digest"
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        return [self._row_to_instance(row) for row in self._conn.execute(sql, params)]
+
+    def get(self, digest: str) -> CorpusInstance:
+        """The stored instance for ``digest`` (KeyError when absent)."""
+        row = self._conn.execute(
+            "SELECT * FROM instances WHERE digest = ?", (digest,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no corpus instance with digest {digest!r}")
+        return self._row_to_instance(row)
+
+    def sample(
+        self,
+        k: int,
+        seed: int = 0,
+        must: Optional[Iterable[Union[str, Filter]]] = None,
+        should: Optional[Iterable[Union[str, Filter]]] = None,
+        must_not: Optional[Iterable[Union[str, Filter]]] = None,
+        min_should: int = 1,
+    ) -> List[CorpusInstance]:
+        """A deterministic ``k``-subset of the matching instances.
+
+        Every matching digest is keyed by ``sha256(seed ':' digest)`` and
+        the ``k`` smallest keys win — no RNG state, so the same corpus,
+        seed and filters select the same instances on any machine, any
+        Python version, any insertion order.  Fewer than ``k`` matches
+        return them all.
+        """
+        matches = self.query(must=must, should=should, must_not=must_not, min_should=min_should)
+
+        def key(instance: CorpusInstance) -> str:
+            return hashlib.sha256(f"{seed}:{instance.digest}".encode()).hexdigest()
+
+        return sorted(matches, key=key)[: max(0, int(k))]
+
+    # ------------------------------------------------------------------ #
+    # aggregate views
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[str, object]:
+        """A JSON-safe summary: counts, family/game histograms, feature ranges."""
+        count = len(self)
+        doc: Dict[str, object] = {
+            "schema_version": CORPUS_SCHEMA_VERSION,
+            "path": self.path,
+            "instances": count,
+        }
+        if count == 0:
+            return doc
+        by = {}
+        for column in ("family", "game", "source", "best_solver"):
+            rows = self._conn.execute(
+                f"SELECT {column} AS k, COUNT(*) AS c FROM instances GROUP BY {column} ORDER BY c DESC, k"
+            ).fetchall()
+            by[column] = {str(row["k"]): row["c"] for row in rows}
+        doc["by"] = by
+        ranges = {}
+        for column in ("n", "m", "depth", "width", "max_in_degree", "r"):
+            row = self._conn.execute(
+                f"SELECT MIN({column}) AS lo, MAX({column}) AS hi FROM instances"
+            ).fetchone()
+            ranges[column] = [row["lo"], row["hi"]]
+        doc["ranges"] = ranges
+        solved = self._conn.execute(
+            "SELECT COUNT(*) FROM instances WHERE best_cost IS NOT NULL"
+        ).fetchone()[0]
+        matched = self._conn.execute(
+            "SELECT COUNT(*) FROM instances WHERE best_cost IS NOT NULL "
+            "AND lower_bound IS NOT NULL AND best_cost = lower_bound"
+        ).fetchone()[0]
+        doc["with_best_cost"] = solved
+        doc["provably_optimal"] = matched
+        return doc
+
+    # ------------------------------------------------------------------ #
+    # JSONL interchange
+    # ------------------------------------------------------------------ #
+
+    def export_jsonl(
+        self,
+        path: Union[str, Path],
+        must: Optional[Iterable[Union[str, Filter]]] = None,
+        should: Optional[Iterable[Union[str, Filter]]] = None,
+        must_not: Optional[Iterable[Union[str, Filter]]] = None,
+        min_should: int = 1,
+    ) -> int:
+        """Write matching instances as JSONL (one self-contained line each).
+
+        Feature columns are *not* exported — they are recomputed on import,
+        so a hand-edited line can never carry stale features.  Returns the
+        number of lines written.
+        """
+        instances = self.query(must=must, should=should, must_not=must_not, min_should=min_should)
+        with open(path, "w", encoding="utf-8") as fh:
+            for instance in instances:
+                fh.write(
+                    json.dumps(
+                        {
+                            "schema": CORPUS_SCHEMA_VERSION,
+                            "digest": instance.digest,
+                            "source": instance.source,
+                            "lower_bound": instance.lower_bound,
+                            "best_cost": instance.best_cost,
+                            "best_solver": instance.best_solver,
+                            "problem": instance.problem_doc,
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+        return len(instances)
+
+    def import_jsonl(self, path: Union[str, Path]) -> Tuple[int, int]:
+        """Load a JSONL export; returns ``(inserted, duplicates)``.
+
+        Every line is verified end to end: the problem payload is rebuilt
+        through the digest-checking wire codec, its content digest is
+        recomputed and compared against the line's claim, and only then is
+        the instance (re-)ingested — with the best-known cost merged
+        monotonically into any existing row.
+
+        Raises
+        ------
+        CorpusImportError
+            On an unreadable file, invalid JSON, a malformed line, or a
+            digest mismatch (the message names the offending line).
+        """
+        from ..service.protocol import ProtocolError, problem_from_wire
+
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise CorpusImportError(f"cannot read {path}: {exc}") from exc
+        inserted = 0
+        duplicates = 0
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise CorpusImportError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            if not isinstance(doc, dict) or "problem" not in doc:
+                raise CorpusImportError(f"{path}:{lineno}: not a corpus JSONL line")
+            schema = doc.get("schema")
+            if not isinstance(schema, int) or schema > CORPUS_SCHEMA_VERSION:
+                raise CorpusImportError(
+                    f"{path}:{lineno}: schema {schema!r} is not supported "
+                    f"(this build reads <= {CORPUS_SCHEMA_VERSION})"
+                )
+            try:
+                problem = problem_from_wire(doc["problem"])
+            except ProtocolError as exc:
+                raise CorpusImportError(f"{path}:{lineno}: bad problem payload: {exc}") from exc
+            digest = problem_digest(problem)
+            claimed = doc.get("digest")
+            if claimed is not None and claimed != digest:
+                raise CorpusImportError(
+                    f"{path}:{lineno}: line claims digest {str(claimed)[:12]} but the "
+                    f"payload rebuilds to {digest[:12]}"
+                )
+            best_cost = doc.get("best_cost")
+            if self.add(
+                problem,
+                source=str(doc.get("source", "jsonl")),
+                lower_bound=doc.get("lower_bound"),
+                best_cost=best_cost,
+                best_solver=doc.get("best_solver"),
+            ):
+                inserted += 1
+            else:
+                duplicates += 1
+        return inserted, duplicates
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "CorpusStore":
+        """Open a corpus from either backing format.
+
+        A SQLite file opens directly; a ``.jsonl`` export loads into an
+        in-memory store (detected by content, not extension: SQLite files
+        start with the 16-byte ``SQLite format 3`` magic).
+        """
+        p = Path(path)
+        try:
+            with open(p, "rb") as fh:
+                magic = fh.read(16)
+        except OSError as exc:
+            raise CorpusImportError(f"cannot read corpus {path}: {exc}") from exc
+        if magic.startswith(b"SQLite format 3"):
+            return cls(p)
+        store = cls(":memory:")
+        store.import_jsonl(p)
+        return store

@@ -149,6 +149,8 @@ def random_layered_dag(
         family=DAGFamily.tag(
             "random_layered",
             layer_sizes=tuple(layer_sizes),
+            layers=len(layer_sizes),
+            width=max(layer_sizes),
             edge_probability=edge_probability,
             max_in_degree=max_in_degree,
             seed=seed_tag,

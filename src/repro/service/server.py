@@ -252,6 +252,7 @@ class SolveService:
             cache_doc["directory"] = (
                 None if self.cache.directory is None else str(self.cache.directory)
             )
+            cache_doc["disk_bytes"] = self.cache.disk_bytes()
         return {
             "protocol_version": protocol.PROTOCOL_VERSION,
             "uptime_s": time.monotonic() - self._stats.started_monotonic,
