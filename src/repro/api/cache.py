@@ -11,14 +11,18 @@ which is what lets :func:`repro.api.solve_many` return cached entries in
 place of fresh solves without weakening its serial-equivalence contract.
 
 Entries live in a bounded in-memory LRU and, when a directory is configured,
-on disk as ``<dir>/<digest[:2]>/<digest>.pkl``.  Disk entries are written
-atomically and carry a payload checksum; on read the checksum is verified,
-the pickle is loaded defensively, the stored problem is compared against the
-requested one, and (by default) the schedule is replayed through the engine.
-Anything that fails — truncation, bit flips, stale pickles from another
-library version, digest collisions — counts as *corrupt*: the entry is
-deleted and the caller falls back to recomputation.  A cache can slow a run
-down, but it can never change an answer.
+on disk as ``<dir>/<digest[:2]>/<digest>.pkl``.  Since format version 3 the
+schedule inside a disk entry is stored in the columnar interchange form of
+:mod:`repro.core.schedule_ir` (packed ``op``/``node``/``arg`` arrays) rather
+than as a pickled list of Move objects.  Disk entries are written atomically
+and carry a payload checksum; on read the checksum is verified, the pickle
+is loaded defensively, the stored problem is compared against the requested
+one, the columns are decoded, and (by default) the schedule is replayed
+through the vectorised replay kernel.  Anything that fails — truncation,
+bit flips, stale pickles from another library version, old-format entries,
+digest collisions — counts as *corrupt*: the entry is deleted and the
+caller falls back to recomputation.  A cache can slow a run down, but it
+can never change an answer.
 
 Invalidation: digests include :data:`CACHE_FORMAT_VERSION` and the installed
 ``repro-prbp`` version, so upgrading either abandons old entries in place
@@ -39,6 +43,16 @@ from pathlib import Path
 from typing import Mapping, Optional, Union
 
 from ..core.canonical import dag_digest
+from ..core.schedule_ir import (
+    from_schedule,
+    ir_digest,
+    ir_from_arrays,
+    kernel_stats,
+    pack_arrays,
+    to_schedule,
+    unpack_arrays,
+)
+from ..core.strategy import ScheduleStats
 from .problem import PebblingProblem
 from .result import SolveResult
 
@@ -54,7 +68,9 @@ __all__ = [
 ]
 
 #: Bumped whenever the digest inputs or the on-disk layout change shape.
-CACHE_FORMAT_VERSION = 2
+#: v3: disk entries carry the schedule as packed schedule-IR columns and are
+#: re-verified through the replay kernel on read.
+CACHE_FORMAT_VERSION = 3
 
 #: Solver options that are wall-clock budgets.  They never enter the content
 #: digest — a digest must identify the *deterministic* inputs of a solve,
@@ -197,11 +213,11 @@ class ResultCache:
         A cap smaller than a single entry prunes that entry too: the cache
         degrades to memory-only rather than overshooting its budget.
     validate:
-        When True (default), a disk entry's schedule is replayed through the
-        game engine before being served and its cost is compared against the
-        stored one — the same "never trust, always replay" policy the rest of
-        the library follows.  Memory entries are served as stored; they never
-        left the process.
+        When True (default), a disk entry's decoded schedule is replayed
+        through the vectorised replay kernel before being served and its
+        statistics are compared against the stored ones — the same "never
+        trust, always replay" policy the rest of the library follows.
+        Memory entries are served as stored; they never left the process.
     """
 
     directory: Optional[Union[str, Path]] = None
@@ -256,9 +272,8 @@ class ResultCache:
         try:
             path = self._path(digest)
             path.parent.mkdir(parents=True, exist_ok=True)
-            payload = pickle.dumps(
-                {"digest": digest, "result": result}, protocol=pickle.HIGHEST_PROTOCOL
-            )
+            doc = self._encode_entry(digest, result)
+            payload = pickle.dumps(doc, protocol=pickle.HIGHEST_PROTOCOL)
             checksum = hashlib.sha256(payload).hexdigest().encode("ascii")
             replaced_size = 0
             if self.max_disk_bytes is not None:
@@ -388,6 +403,71 @@ class ResultCache:
         except OSError:
             self.stats.io_errors += 1
 
+    def _encode_entry(self, digest: str, result: SolveResult) -> dict:
+        """The v3 on-disk document: schedule as packed IR columns, not Moves."""
+        ir = from_schedule(result.schedule)
+        return {
+            "format": CACHE_FORMAT_VERSION,
+            "digest": digest,
+            "problem": result.problem,
+            "arrays": pack_arrays(ir),
+            "ir_digest": ir_digest(ir),
+            "description": ir.description,
+            "stats": result.stats,
+            "solver": result.solver,
+            "exact_solver": bool(result.exact_solver),
+            "lower_bound": result.lower_bound,
+            "lower_bound_source": result.lower_bound_source,
+            "solve_stats": result.solve_stats,
+        }
+
+    def _decode_entry(self, problem: PebblingProblem, digest: str, doc: object) -> SolveResult:
+        """Rebuild a :class:`SolveResult` from a v3 document, verifying as we go.
+
+        Raises on *anything* suspicious — wrong format version (including
+        pre-v3 documents that pickled the whole result), digest or problem
+        mismatch, malformed columns, and (when ``validate`` is on) a kernel
+        replay whose statistics disagree with the stored ones.  The caller
+        converts any raise into corrupt-entry handling.
+        """
+        if not isinstance(doc, dict):
+            raise ValueError("entry payload is not a document")
+        if doc.get("format") != CACHE_FORMAT_VERSION or doc.get("digest") != digest:
+            raise ValueError("entry does not describe this digest/format")
+        stored_problem = doc["problem"]
+        if not isinstance(stored_problem, PebblingProblem) or stored_problem != problem:
+            raise ValueError("stored problem differs from the requested one")
+        op, node, arg = unpack_arrays(doc["arrays"])
+        ir = ir_from_arrays(
+            problem.game,
+            problem.dag,
+            problem.r,
+            problem.variant,
+            op,
+            node,
+            arg,
+            description=str(doc.get("description", "")),
+        )
+        if ir_digest(ir) != doc.get("ir_digest"):
+            raise ValueError("schedule columns do not match the stored digest")
+        stats = doc["stats"]
+        if not isinstance(stats, ScheduleStats):
+            raise ValueError("entry carries no replay statistics")
+        if self.validate:
+            replayed = kernel_stats(ir)  # raises on an illegal/incomplete schedule
+            if replayed != stats:
+                raise ValueError("replayed statistics differ from the stored ones")
+        return SolveResult(
+            problem=problem,
+            schedule=to_schedule(ir),
+            stats=stats,
+            solver=str(doc["solver"]),
+            exact_solver=bool(doc["exact_solver"]),
+            lower_bound=doc["lower_bound"],
+            lower_bound_source=str(doc["lower_bound_source"]),
+            solve_stats=doc["solve_stats"],
+        )
+
     def _read_disk(self, problem: PebblingProblem, digest: str) -> Optional[SolveResult]:
         path = self._path(digest)
         try:
@@ -399,19 +479,11 @@ class ResultCache:
             if hashlib.sha256(payload).hexdigest().encode("ascii") != checksum:
                 raise ValueError("payload checksum mismatch")
             doc = pickle.loads(payload)
-            result = doc["result"]
-            if doc.get("digest") != digest or not isinstance(result, SolveResult):
-                raise ValueError("entry does not describe this digest")
-            if result.problem != problem:
-                raise ValueError("stored problem differs from the requested one")
-            if self.validate:
-                replayed = result.schedule.stats()  # raises on an illegal schedule
-                if replayed != result.stats:
-                    raise ValueError("replayed statistics differ from the stored ones")
-            return result
+            return self._decode_entry(problem, digest, doc)
         except Exception:
             # Truncation, bit flips, stale pickles from an incompatible
-            # version, forged entries: all treated identically — drop the
-            # entry and let the caller recompute.
+            # version (including pre-v3 whole-result pickles), forged
+            # entries: all treated identically — drop the entry and let the
+            # caller recompute.
             self._discard_corrupt(path)
             return None

@@ -35,13 +35,15 @@ SCHEMA_NAME = "repro-prbp-bench"
 #: Bumped on changes to the record or envelope layout.  Version 2 adds the
 #: anytime-refinement trajectory fields (``refine_initial_cost``,
 #: ``refine_steps``, ``refine_accepted``, ``refine_time_to_best_s``) to every
-#: scenario record.
-SCHEMA_VERSION = 2
+#: scenario record.  Version 3 adds the replay-throughput microbenchmark
+#: fields (``replay_speedup``, ``replay_schedules_per_s``,
+#: ``replay_engine_schedules_per_s``).
+SCHEMA_VERSION = 3
 
-#: Versions :func:`load_report` accepts.  Version-1 documents lack the
-#: refinement fields, which every consumer treats as absent/None — keeping
-#: them loadable lets ``--compare`` gate a v2 run against a v1 baseline.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+#: Versions :func:`load_report` accepts.  Older documents lack the newer
+#: additive fields, which every consumer treats as absent/None — keeping
+#: them loadable lets ``--compare`` gate a v3 run against a v1/v2 baseline.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 
 def environment_metadata() -> Dict[str, object]:

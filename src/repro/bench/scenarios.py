@@ -40,6 +40,7 @@ from ..dags.trees import optimal_prbp_tree_cost, optimal_rbp_tree_cost
 from ..hardness.levels import demo_theorem71_instance
 from ..hardness.independent_set import UndirectedGraph
 from ..hardness.reduction_thm48 import build_theorem48_instance
+from .replay_bench import register_replay_scenarios
 from .scenario import BenchScenario, ScenarioTier, register_scenario
 
 __all__ = ["register_builtin_scenarios"]
@@ -611,7 +612,7 @@ def register_builtin_scenarios() -> None:
             dag_factory=kary_tree_dag,
             game="rbp",
             solver="anytime",
-            solve_options={"seed": 0, "refine_steps": 192},
+            solve_options={"seed": 0, "refine_steps": 384},
             tiers={
                 "quick": ScenarioTier(dag_args=(3, 3), r=5),
                 "full": ScenarioTier(dag_args=(3, 5), r=7),
@@ -627,7 +628,7 @@ def register_builtin_scenarios() -> None:
             dag_factory=fft_dag,
             game="prbp",
             solver="anytime",
-            solve_options={"seed": 0, "refine_steps": 192},
+            solve_options={"seed": 0, "refine_steps": 384},
             tiers={
                 "quick": ScenarioTier(dag_args=(16,), r=6),
                 "full": ScenarioTier(dag_args=(128,), r=12),
@@ -643,7 +644,7 @@ def register_builtin_scenarios() -> None:
             dag_factory=random_layered_dag,
             game="prbp",
             solver="anytime",
-            solve_options={"seed": 0, "refine_steps": 192},
+            solve_options={"seed": 0, "refine_steps": 384},
             tiers={
                 "quick": ScenarioTier(
                     dag_args=((6, 8, 8, 6, 4),),
@@ -659,3 +660,8 @@ def register_builtin_scenarios() -> None:
             reference="Sec. 8.1 anytime improvement over the Belady baseline",
         )
     )
+
+    # ------------------------------------------------------------------ #
+    # Schedule-IR replay kernel: validation throughput vs the engine
+    # ------------------------------------------------------------------ #
+    register_replay_scenarios()

@@ -20,9 +20,11 @@ family tag), capacity, game, variant — plus the
 :func:`repro.core.canonical.dag_digest` of the DAG.  The receiving side
 rebuilds the DAG and recomputes the digest; a mismatch means the wire doc
 does not faithfully describe the graph and is refused.  Results travel as
-the schedule's move list plus solver provenance; :func:`result_from_wire`
-replays the moves through the game engine (the library's "never trust,
-always replay" policy), so a service client ends up holding a
+the schedule's packed columnar form (the base64 ``ops``/``nodes``/``args``
+columns of :mod:`repro.core.schedule_ir`, protocol version 2) plus solver
+provenance; :func:`result_from_wire` decodes the columns and replays them
+through the vectorised replay kernel (the library's "never trust, always
+replay" policy), so a service client ends up holding a
 :class:`~repro.api.result.SolveResult` whose cost is the cost of an actually
 legal pebbling — bit-identical to what a local ``solve()`` returns.
 
@@ -36,12 +38,19 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
-from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..core.canonical import dag_digest
 from ..core.dag import ComputationalDAG, DAGFamily
-from ..core.moves import MoveKind, PRBPMove, RBPMove
-from ..core.strategy import PRBPSchedule, RBPSchedule
+from ..core.schedule_ir import (
+    from_schedule,
+    ir_from_arrays,
+    kernel_stats,
+    pack_arrays,
+    to_schedule,
+    unpack_arrays,
+)
+from ..core.strategy import ScheduleStats
 from ..core.variants import GameVariant
 from ..api.problem import GAMES, PebblingProblem
 from ..api.result import Schedule, SolveResult, SolveStats
@@ -68,7 +77,9 @@ __all__ = [
 ]
 
 #: Bumped on any incompatible change to the frame layout or message schemas.
-PROTOCOL_VERSION = 1
+#: v2: result frames carry the schedule as packed schedule-IR columns
+#: instead of a per-move JSON list.
+PROTOCOL_VERSION = 2
 
 #: Upper bound on a single frame's payload.  Large enough for the move list
 #: of a multi-thousand-node schedule, small enough that a garbage length
@@ -426,54 +437,46 @@ def problem_from_wire(doc: Mapping[str, object]) -> PebblingProblem:
 # --------------------------------------------------------------------------- #
 
 
-def _moves_to_wire(schedule: Schedule) -> List[List[object]]:
-    items: List[List[object]] = []
-    if isinstance(schedule, RBPSchedule):
-        for mv in schedule.moves:
-            if mv.kind is MoveKind.COMPUTE and mv.slide_from is not None:
-                items.append([mv.kind.value, mv.node, mv.slide_from])
-            else:
-                items.append([mv.kind.value, mv.node])
-    else:
-        for mv in schedule.moves:
-            if mv.kind is MoveKind.COMPUTE:
-                assert mv.edge is not None
-                items.append([mv.kind.value, mv.edge[0], mv.edge[1]])
-            else:
-                items.append([mv.kind.value, mv.node])
-    return items
+def _schedule_to_wire(schedule: Schedule) -> Dict[str, object]:
+    """The v2 schedule payload: packed IR columns plus the description."""
+    ir = from_schedule(schedule)
+    doc: Dict[str, object] = dict(pack_arrays(ir))
+    doc["description"] = ir.description
+    return doc
 
 
-def _moves_from_wire(game: str, items: object) -> List[Union[RBPMove, PRBPMove]]:
-    _require(isinstance(items, list), "schedule 'moves' must be a list")
-    assert isinstance(items, list)
-    moves: List[Union[RBPMove, PRBPMove]] = []
-    for item in items:
-        _require(
-            isinstance(item, list)
-            and len(item) in (2, 3)
-            and isinstance(item[0], str)
-            and all(isinstance(x, int) and not isinstance(x, bool) for x in item[1:]),
-            f"malformed wire move {item!r}",
+def _schedule_from_wire(problem: PebblingProblem, doc: object) -> Tuple[Schedule, ScheduleStats]:
+    """Decode and *kernel-validate* a v2 schedule payload.
+
+    The packed columns are decoded (any malformation — bad base64, wrong
+    byte counts, out-of-range op/node ids — is a :class:`ProtocolError`) and
+    the resulting IR is replayed through the vectorised kernel, which both
+    checks legality/terminality and recomputes every statistic.  Returns the
+    rebuilt schedule together with the kernel-replayed statistics.
+    """
+    _require(isinstance(doc, dict), "result 'schedule' must be an object")
+    assert isinstance(doc, dict)
+    description = doc.get("description", "")
+    _require(isinstance(description, str), "schedule 'description' must be a string")
+    try:
+        op, node, arg = unpack_arrays(doc)
+        ir = ir_from_arrays(
+            problem.game,
+            problem.dag,
+            problem.r,
+            problem.variant,
+            op,
+            node,
+            arg,
+            description=str(description),
         )
-        kind_name = item[0]
-        try:
-            kind = MoveKind(kind_name)
-        except ValueError as exc:
-            raise ProtocolError(f"unknown move kind {kind_name!r}") from exc
-        try:
-            if game == "rbp":
-                slide = item[2] if len(item) == 3 else None
-                moves.append(RBPMove(kind, int(item[1]), slide))
-            elif kind is MoveKind.COMPUTE:
-                _require(len(item) == 3, "a PRBP compute move needs [u, v]")
-                moves.append(PRBPMove(kind, edge=(int(item[1]), int(item[2]))))
-            else:
-                _require(len(item) == 2, f"a PRBP {kind.value} move targets one node")
-                moves.append(PRBPMove(kind, node=int(item[1])))
-        except ValueError as exc:
-            raise ProtocolError(f"invalid move {item!r}: {exc}") from exc
-    return moves
+    except ValueError as exc:
+        raise ProtocolError(f"malformed schedule columns: {exc}") from exc
+    try:
+        replayed = kernel_stats(ir)  # raises on an illegal/incomplete schedule
+    except Exception as exc:
+        raise ProtocolError(f"wire schedule does not replay legally: {exc}") from exc
+    return to_schedule(ir), replayed
 
 
 def _trajectory_to_wire(trajectory: Optional[RefinementTrajectory]) -> Optional[Dict[str, object]]:
@@ -512,7 +515,7 @@ def _trajectory_from_wire(doc: Optional[object]) -> Optional[RefinementTrajector
 
 
 def result_to_wire(result: SolveResult) -> Dict[str, object]:
-    """Serialize a result: schedule moves + provenance + solve statistics.
+    """Serialize a result: packed schedule columns + provenance + solve stats.
 
     The problem itself is *not* repeated — both sides already hold it (the
     client posed it, the server admitted it), and echoing a multi-megabyte
@@ -526,10 +529,7 @@ def result_to_wire(result: SolveResult) -> Dict[str, object]:
         "lower_bound": result.lower_bound,
         "lower_bound_source": result.lower_bound_source,
         "io_cost": result.cost,
-        "schedule": {
-            "moves": _moves_to_wire(result.schedule),
-            "description": result.schedule.description,
-        },
+        "schedule": _schedule_to_wire(result.schedule),
         "solve_stats": None
         if stats is None
         else {
@@ -544,36 +544,15 @@ def result_to_wire(result: SolveResult) -> Dict[str, object]:
 def result_from_wire(problem: PebblingProblem, doc: Mapping[str, object]) -> SolveResult:
     """Rebuild a :class:`SolveResult` against the locally held problem.
 
-    The move list is replayed through the game engine — the replay both
-    validates legality and recomputes every statistic, so the returned
-    result is bit-identical to a local solve (wall-clock ``solve_stats``
-    are carried verbatim; they are measurements, not derived data).  A wire
-    document whose claimed ``io_cost`` disagrees with the replay is refused.
+    The packed columns are replayed through the vectorised kernel — the
+    replay both validates legality and recomputes every statistic, so the
+    returned result is bit-identical to a local solve (wall-clock
+    ``solve_stats`` are carried verbatim; they are measurements, not derived
+    data).  A wire document whose claimed ``io_cost`` disagrees with the
+    replay is refused.
     """
     _require(isinstance(doc, Mapping), "'result' must be an object")
-    schedule_doc = doc.get("schedule")
-    _require(isinstance(schedule_doc, dict), "result 'schedule' must be an object")
-    assert isinstance(schedule_doc, dict)
-    moves = _moves_from_wire(problem.game, schedule_doc.get("moves"))
-    description = schedule_doc.get("description", "")
-    _require(isinstance(description, str), "schedule 'description' must be a string")
-    schedule: Schedule
-    if problem.game == "rbp":
-        schedule = RBPSchedule(
-            problem.dag, problem.r, [mv for mv in moves if isinstance(mv, RBPMove)],
-            variant=problem.variant, description=description,
-        )
-    else:
-        schedule = PRBPSchedule(
-            problem.dag, problem.r, [mv for mv in moves if isinstance(mv, PRBPMove)],
-            variant=problem.variant, description=description,
-        )
-    if len(schedule.moves) != len(moves):
-        raise ProtocolError(f"wire moves do not all belong to the {problem.game.upper()} game")
-    try:
-        replayed = schedule.stats()
-    except Exception as exc:
-        raise ProtocolError(f"wire schedule does not replay legally: {exc}") from exc
+    schedule, replayed = _schedule_from_wire(problem, doc.get("schedule"))
     claimed_cost = doc.get("io_cost")
     _require(
         isinstance(claimed_cost, int) and replayed.io_cost == claimed_cost,

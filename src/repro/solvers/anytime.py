@@ -54,9 +54,18 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 from ..core.dag import ComputationalDAG
 from ..core.exceptions import PebblingError, SolverError
 from ..core.moves import MoveKind, PRBPMove, RBPMove
-from ..core.pebbles import PRBPState
 from ..core.prbp import PRBPGame, run_prbp_schedule
 from ..core.rbp import RBPGame, run_rbp_schedule
+from ..core.schedule_ir import (
+    OP_CLEAR,
+    OP_COMPUTE,
+    OP_DELETE,
+    OP_LOAD,
+    OP_SAVE,
+    decode_moves,
+    encode_moves,
+    replay_io_cost,
+)
 from ..core.strategy import PRBPSchedule, RBPSchedule
 from ..core.variants import GameVariant
 from .greedy import greedy_rbp_schedule, topological_prbp_schedule
@@ -73,6 +82,12 @@ __all__ = [
 
 Schedule = Union[RBPSchedule, PRBPSchedule]
 Move = Union[RBPMove, PRBPMove]
+
+#: The refiner's working form: one ``(op, node, arg)`` row per move, as
+#: produced by :func:`repro.core.schedule_ir.encode_moves`.  Every mutation
+#: operator manipulates rows and every candidate is scored by the columnar
+#: replay kernel — Move objects are only materialized at the boundaries.
+Row = Tuple[int, int, int]
 
 #: Default mutation-attempt budget when neither ``steps`` nor a wall-clock
 #: budget is given.  Sized so the auto portfolio's final improvement pass
@@ -208,13 +223,39 @@ def _replay_cost(
     variant: GameVariant,
     game: str,
 ) -> Optional[int]:
-    """I/O cost of a candidate move list, or None if it does not replay legally."""
+    """I/O cost of a move list via the *engine*, or None if it does not replay.
+
+    Kept for the one-time validation of the input schedule: the engines stay
+    the semantics definition, so refinement only ever starts from a schedule
+    the engine itself accepts.  Candidate scoring inside the search runs on
+    the differential-tested replay kernel (:func:`_score_rows`) instead.
+    """
     try:
         if game == "rbp":
             return run_rbp_schedule(dag, r, moves, variant=variant).io_cost
         return run_prbp_schedule(dag, r, moves, variant=variant).io_cost
     except PebblingError:
         return None
+
+
+def _score_rows(
+    dag: ComputationalDAG,
+    r: int,
+    rows: Sequence[Row],
+    variant: GameVariant,
+    game: str,
+) -> Optional[int]:
+    """Kernel score of a candidate row list — the refiner's hot path.
+
+    Same contract as :func:`_replay_cost` (None when the candidate is
+    illegal *or* incomplete), without per-move Move-object dispatch; the
+    equivalence is pinned down by ``tests/test_schedule_ir.py``.
+    """
+    return replay_io_cost(dag, r, variant, game, rows)
+
+
+def _io_count_rows(rows: Sequence[Row]) -> int:
+    return sum(1 for op, _, _ in rows if op <= OP_SAVE)
 
 
 def _make_schedule(
@@ -234,141 +275,161 @@ def _make_schedule(
 # --------------------------------------------------------------------------- #
 
 
-def _later_load_positions(moves: Sequence[Move], n: int) -> List[List[int]]:
+def _later_load_positions(rows: Sequence[Row], n: int) -> List[List[int]]:
     """Per node, the ascending move indices at which it is loaded."""
     loads: List[List[int]] = [[] for _ in range(n)]
-    for i, mv in enumerate(moves):
-        if mv.kind is MoveKind.LOAD:
-            assert mv.node is not None
-            loads[mv.node].append(i)
+    for i, (op, x, _) in enumerate(rows):
+        if op == OP_LOAD:
+            loads[x].append(i)
     return loads
 
 
 def _rbp_elision_candidates(
-    dag: ComputationalDAG, r: int, moves: Sequence[RBPMove], variant: GameVariant
+    dag: ComputationalDAG, r: int, rows: Sequence[Row], variant: GameVariant
 ) -> List[Tuple[int, ...]]:
-    """Index tuples whose removal is *plausibly* free I/O (replay decides)."""
+    """Index tuples whose removal is *plausibly* free I/O (replay decides).
+
+    ``rows`` is always the current best schedule — legal and complete — so
+    the pebble state is tracked with unchecked inline transitions instead of
+    a full engine walk (every query reads the state *before* its own move,
+    exactly as the engine-walk version did).
+    """
     candidates: List[Tuple[int, ...]] = []
-    loads = _later_load_positions(moves, dag.n)
-    game = RBPGame(dag, r, variant=variant, record_history=False)
+    loads = _later_load_positions(rows, dag.n)
+    red: Set[int] = set()
+    blue: Set[int] = set(dag.sources)
+    is_sink = dag.is_sink
+    allow_delete = variant.allow_delete
     pending_delete: Dict[int, int] = {}
-    for i, mv in enumerate(moves):
-        v = mv.node
-        if mv.kind is MoveKind.LOAD:
-            if v in game.red:
+    for i, (op, v, s) in enumerate(rows):
+        if op == OP_LOAD:
+            if v in red:
                 candidates.append((i,))
             elif v in pending_delete:
                 # delete ... load round trip: the value could have stayed red
                 candidates.append((pending_delete.pop(v), i))
-        elif mv.kind is MoveKind.SAVE:
-            if v in game.blue:
+            red.add(v)
+        elif op == OP_SAVE:
+            if v in blue:
                 candidates.append((i,))
-            elif not dag.is_sink(v) and not any(p > i for p in loads[v]):
+            elif not is_sink(v) and not any(p > i for p in loads[v]):
                 candidates.append((i,))
-        elif mv.kind is MoveKind.DELETE:
+            blue.add(v)
+            if not allow_delete:
+                red.discard(v)
+        elif op == OP_DELETE:
             pending_delete[v] = i
-        elif mv.kind is MoveKind.COMPUTE:
+            red.discard(v)
+        elif op == OP_COMPUTE:
             # a (re-)compute rewrites the value; the earlier delete no longer
             # pairs with a later load of the same content
             pending_delete.pop(v, None)
-            if mv.slide_from is not None:
-                pending_delete.pop(mv.slide_from, None)
-        game.apply(mv)
+            if s >= 0:
+                pending_delete.pop(s, None)
+                red.discard(s)
+            red.add(v)
     return candidates
 
 
+# PRBP node states, as in ``core.pebbles.PRBPState`` (ints for the hot scan)
+_P_NONE, _P_BLUE, _P_LIGHT, _P_DARK = 0, 1, 2, 3
+
+
 def _prbp_elision_candidates(
-    dag: ComputationalDAG, r: int, moves: Sequence[PRBPMove], variant: GameVariant
+    dag: ComputationalDAG, r: int, rows: Sequence[Row], variant: GameVariant
 ) -> List[Tuple[int, ...]]:
     candidates: List[Tuple[int, ...]] = []
-    loads = _later_load_positions(moves, dag.n)
-    game = PRBPGame(dag, r, variant=variant, record_history=False)
+    loads = _later_load_positions(rows, dag.n)
+    state = [_P_NONE] * dag.n
+    for v in dag.sources:
+        state[v] = _P_BLUE
+    is_sink = dag.is_sink
     pending_delete: Dict[int, int] = {}
-    for i, mv in enumerate(moves):
-        if mv.kind is MoveKind.LOAD:
-            v = mv.node
-            assert v is not None
-            if game.node_state(v) is PRBPState.BLUE_LIGHT_RED:
+    for i, (op, x, y) in enumerate(rows):
+        if op == OP_LOAD:
+            if state[x] == _P_LIGHT:
                 candidates.append((i,))
-            elif v in pending_delete:
-                candidates.append((pending_delete.pop(v), i))
-        elif mv.kind is MoveKind.SAVE:
-            v = mv.node
-            assert v is not None
-            if not dag.is_sink(v) and not any(p > i for p in loads[v]):
+            elif x in pending_delete:
+                candidates.append((pending_delete.pop(x), i))
+            if state[x] == _P_BLUE:
+                state[x] = _P_LIGHT
+        elif op == OP_SAVE:
+            if not is_sink(x) and not any(p > i for p in loads[x]):
                 candidates.append((i,))
-        elif mv.kind is MoveKind.DELETE:
-            v = mv.node
-            assert v is not None
-            if game.node_state(v) is PRBPState.BLUE_LIGHT_RED:
-                pending_delete[v] = i
+            state[x] = _P_LIGHT
+        elif op == OP_DELETE:
+            if state[x] == _P_LIGHT:
+                pending_delete[x] = i
+                state[x] = _P_BLUE
             else:
-                pending_delete.pop(v, None)
-        elif mv.kind is MoveKind.COMPUTE:
-            assert mv.edge is not None
+                pending_delete.pop(x, None)
+                state[x] = _P_NONE
+        elif op == OP_COMPUTE:
             # the head's value changes, so an earlier delete of it no longer
             # pairs with a later load of the same content
-            pending_delete.pop(mv.edge[1], None)
-        elif mv.kind is MoveKind.CLEAR:
-            assert mv.node is not None
-            pending_delete.pop(mv.node, None)
-        game.apply(mv)
+            pending_delete.pop(y, None)
+            state[y] = _P_DARK
+        elif op == OP_CLEAR:
+            pending_delete.pop(x, None)
+            state[x] = _P_NONE
     return candidates
 
 
 def _candidate_signature(
-    moves: Sequence[Move], cand: Tuple[int, ...]
-) -> Tuple[Tuple[Move, int], ...]:
-    """Position-independent identity of a candidate: its moves + occurrence ranks.
+    rows: Sequence[Row], cand: Tuple[int, ...]
+) -> Tuple[Tuple[Row, int], ...]:
+    """Position-independent identity of a candidate: its rows + occurrence ranks.
 
     Candidate indices shift after every successful removal; the signature
     survives the shift, so a candidate that failed once (e.g. a round trip
     whose removal would overflow capacity) is not retried on every sweep —
-    failed retries would otherwise silently drain the step budget.
+    failed retries would otherwise silently drain the step budget.  Rows are
+    a bijective image of Move objects (:func:`encode_moves`), so the dedup
+    classes are exactly the pre-kernel ones.
     """
-    counts: Dict[Move, int] = {}
-    occ: Dict[int, Tuple[Move, int]] = {}
+    counts: Dict[Row, int] = {}
+    occ: Dict[int, Tuple[Row, int]] = {}
     wanted = set(cand)
-    for idx, mv in enumerate(moves):
+    for idx, row in enumerate(rows):
         if idx in wanted:
-            occ[idx] = (mv, counts.get(mv, 0))
-        counts[mv] = counts.get(mv, 0) + 1
+            occ[idx] = (row, counts.get(row, 0))
+        counts[row] = counts.get(row, 0) + 1
     return tuple(occ[idx] for idx in cand)
 
 
 def _elision_pass(
     dag: ComputationalDAG,
     r: int,
-    moves: List[Move],
+    rows: List[Row],
     cost: int,
     variant: GameVariant,
     game: str,
     budget: _Budget,
-    on_accept: Callable[[List[Move], int], None],
-) -> Tuple[List[Move], int]:
+    on_accept: Callable[[List[Row], int], None],
+) -> Tuple[List[Row], int]:
     """Repeatedly remove free I/O until a fixed point (or budget exhaustion)."""
     find = _rbp_elision_candidates if game == "rbp" else _prbp_elision_candidates
-    attempted: Set[Tuple[Tuple[Move, int], ...]] = set()
+    attempted: Set[Tuple[Tuple[Row, int], ...]] = set()
     for _ in range(_MAX_ELISION_SWEEPS):
         improved = False
-        for cand in find(dag, r, moves, variant):
-            sig = _candidate_signature(moves, cand)
+        for cand in find(dag, r, rows, variant):
+            sig = _candidate_signature(rows, cand)
             if sig in attempted:
                 continue
             if not budget.spend():
-                return moves, cost
+                return rows, cost
             attempted.add(sig)
             drop = set(cand)
-            trial = [mv for idx, mv in enumerate(moves) if idx not in drop]
-            trial_cost = _replay_cost(dag, r, trial, variant, game)
+            trial = [row for idx, row in enumerate(rows) if idx not in drop]
+            trial_cost = _score_rows(dag, r, trial, variant, game)
             if trial_cost is not None and trial_cost < cost:
-                moves, cost = trial, trial_cost
-                on_accept(moves, cost)
+                rows, cost = trial, trial_cost
+                on_accept(rows, cost)
                 improved = True
                 break  # indices shifted; re-derive candidates
         if not improved:
-            return moves, cost
-    return moves, cost
+            return rows, cost
+    return rows, cost
 
 
 # --------------------------------------------------------------------------- #
@@ -376,7 +437,7 @@ def _elision_pass(
 # --------------------------------------------------------------------------- #
 
 
-def _realized_order(dag: ComputationalDAG, moves: Sequence[Move], game: str) -> List[int]:
+def _realized_order(dag: ComputationalDAG, rows: Sequence[Row], game: str) -> List[int]:
     """The node processing order the schedule actually followed.
 
     For RBP this is the order of first computes; for PRBP the order in which
@@ -394,24 +455,23 @@ def _realized_order(dag: ComputationalDAG, moves: Sequence[Move], game: str) -> 
             order.append(v)
 
     if game == "rbp":
-        for mv in moves:
-            if mv.kind is MoveKind.COMPUTE and mv.node not in placed:
-                for u in dag.predecessors(mv.node):
+        for op, v, _ in rows:
+            if op == OP_COMPUTE and v not in placed:
+                for u in dag.predecessors(v):
                     if dag.is_source(u):
                         place(u)
-                place(mv.node)
+                place(v)
     else:
         marked_in = [0] * dag.n
-        for mv in moves:
-            if mv.kind is MoveKind.COMPUTE:
-                u, v = mv.edge
-                if dag.is_source(u):
-                    place(u)
-                marked_in[v] += 1
-                if marked_in[v] == dag.in_degree(v):
-                    place(v)
-            elif mv.kind is MoveKind.CLEAR:
-                marked_in[mv.node] = 0
+        for op, x, y in rows:
+            if op == OP_COMPUTE:
+                if dag.is_source(x):
+                    place(x)
+                marked_in[y] += 1
+                if marked_in[y] == dag.in_degree(y):
+                    place(y)
+            elif op == OP_CLEAR:
+                marked_in[x] = 0
     for v in dag.topological_order:
         place(v)
     return order
@@ -423,7 +483,7 @@ def _rebuild(
     order: Sequence[int],
     variant: GameVariant,
     game: str,
-) -> Optional[Tuple[List[Move], int]]:
+) -> Optional[Tuple[List[Row], int]]:
     """Greedy Belady pebbling along ``order``; None when the rebuild is infeasible.
 
     Rebuilt schedules are legal by construction (they are produced through
@@ -439,7 +499,8 @@ def _rebuild(
         # builder's delete moves), ValueError (non-topological order after a
         # clear-variant extraction): all mean "no candidate from this order".
         return None
-    return list(schedule.moves), _io_count(schedule.moves)
+    rows = encode_moves(game, schedule.moves)
+    return rows, _io_count_rows(rows)
 
 
 def _perturb_order(
@@ -466,9 +527,9 @@ def _perturb_order(
     return None
 
 
-def _displace_move(moves: Sequence[Move], rng: random.Random) -> Optional[List[Move]]:
+def _displace_move(rows: Sequence[Row], rng: random.Random) -> Optional[List[Row]]:
     """Slide one move to a nearby position (window reordering mutation)."""
-    n = len(moves)
+    n = len(rows)
     if n < 2:
         return None
     i = rng.randrange(n)
@@ -476,10 +537,10 @@ def _displace_move(moves: Sequence[Move], rng: random.Random) -> Optional[List[M
     j = max(0, min(n - 1, i + offset))
     if i == j:
         return None
-    new_moves = list(moves)
-    mv = new_moves.pop(i)
-    new_moves.insert(j, mv)
-    return new_moves
+    new_rows = list(rows)
+    row = new_rows.pop(i)
+    new_rows.insert(j, row)
+    return new_rows
 
 
 # --------------------------------------------------------------------------- #
@@ -545,14 +606,16 @@ def refine_schedule(
     budget = _Budget(steps, time_budget_s)
     rng = random.Random(seed)
 
-    best_moves: List[Move] = list(schedule.moves)
+    # the search runs entirely on (op, node, arg) rows scored by the replay
+    # kernel; Move objects only reappear for the returned schedule
+    best_rows: List[Row] = encode_moves(game, schedule.moves)
     best_cost = initial_cost
     accepted = 0
     time_to_best = 0.0
 
-    def on_accept(moves: List[Move], cost: int) -> None:
-        nonlocal best_moves, best_cost, accepted, time_to_best
-        best_moves, best_cost = moves, cost
+    def on_accept(rows: List[Row], cost: int) -> None:
+        nonlocal best_rows, best_cost, accepted, time_to_best
+        best_rows, best_cost = rows, cost
         accepted += 1
         time_to_best = budget.elapsed()
         if on_improve is not None:
@@ -562,48 +625,48 @@ def refine_schedule(
         on_improve(initial_cost, 0.0)
 
     # deterministic phase 1: strip free I/O from the seed itself
-    best_moves, best_cost = _elision_pass(
-        dag, r, best_moves, best_cost, variant, game, budget, on_accept
+    best_rows, best_cost = _elision_pass(
+        dag, r, best_rows, best_cost, variant, game, budget, on_accept
     )
 
     # deterministic phase 2: eviction re-decision against the realized future
     if budget.spend():
-        rebuilt = _rebuild(dag, r, _realized_order(dag, best_moves, game), variant, game)
+        rebuilt = _rebuild(dag, r, _realized_order(dag, best_rows, game), variant, game)
         if rebuilt is not None and rebuilt[1] < best_cost:
             on_accept(*rebuilt)
-            best_moves, best_cost = _elision_pass(
-                dag, r, best_moves, best_cost, variant, game, budget, on_accept
+            best_rows, best_cost = _elision_pass(
+                dag, r, best_rows, best_cost, variant, game, budget, on_accept
             )
 
     # randomized phase: order perturbations and window reorderings
     while budget.spend():
         if rng.random() < 0.6:
-            order = _perturb_order(dag, _realized_order(dag, best_moves, game), rng)
+            order = _perturb_order(dag, _realized_order(dag, best_rows, game), rng)
             candidate = None if order is None else _rebuild(dag, r, order, variant, game)
             if candidate is not None and candidate[1] < best_cost:
                 on_accept(*candidate)
-                best_moves, best_cost = _elision_pass(
-                    dag, r, best_moves, best_cost, variant, game, budget, on_accept
+                best_rows, best_cost = _elision_pass(
+                    dag, r, best_rows, best_cost, variant, game, budget, on_accept
                 )
         else:
-            reordered = _displace_move(best_moves, rng)
+            reordered = _displace_move(best_rows, rng)
             if reordered is None:
                 continue
-            cost = _replay_cost(dag, r, reordered, variant, game)
+            cost = _score_rows(dag, r, reordered, variant, game)
             if cost is None:
                 continue
             # reordering alone never changes the I/O count — its value is the
             # round trips it exposes to the elision peephole
-            trial_moves, trial_cost = _elision_pass(
+            trial_rows, trial_cost = _elision_pass(
                 dag, r, reordered, cost, variant, game, budget, lambda m, c: None
             )
             if trial_cost < best_cost:
-                on_accept(trial_moves, trial_cost)
+                on_accept(trial_rows, trial_cost)
 
     description = schedule.description
     if best_cost < initial_cost:
         description = f"anytime refinement of {origin} (seed={seed})"
-    refined = _make_schedule(schedule, best_moves, description)
+    refined = _make_schedule(schedule, decode_moves(game, best_rows), description)
     trajectory = RefinementTrajectory(
         initial_cost=initial_cost,
         refined_cost=best_cost,

@@ -176,7 +176,7 @@ def last_search_telemetry() -> Optional[SearchTelemetry]:
 
 
 def _popcount(x: int) -> int:
-    return bin(x).count("1")
+    return x.bit_count()
 
 
 def _bits(x: int) -> Iterator[int]:

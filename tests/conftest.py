@@ -7,6 +7,9 @@ Two profiles are registered:
   workflow with ``--hypothesis-profile=ci``.
 * ``dev`` — the local default: same bounds, but with Hypothesis's random
   exploration enabled so repeated local runs keep probing new inputs.
+* ``thorough`` — the deep differential sweep (1500 examples per property):
+  run locally as ``pytest tests/test_schedule_ir.py --hypothesis-profile=thorough``
+  to push the replay-kernel harness past the 10k-case acceptance bar.
 
 Selection order: the ``--hypothesis-profile`` CLI flag wins, then the
 ``HYPOTHESIS_PROFILE`` environment variable, then ``dev``.
@@ -27,4 +30,10 @@ if settings is not None:
     )
     settings.register_profile("ci", derandomize=True, **_COMMON)
     settings.register_profile("dev", **_COMMON)
+    settings.register_profile(
+        "thorough",
+        max_examples=1500,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+    )
     settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

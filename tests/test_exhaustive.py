@@ -150,3 +150,15 @@ class TestVariantOptimality:
         stats = schedule.stats()
         assert stats.io_cost == 3
         assert stats.total_cost == pytest.approx(3 + 0.125 * stats.computes)
+
+
+class TestBitHelpers:
+    def test_popcount_matches_reference_on_wide_masks(self):
+        from repro.solvers.exhaustive import _popcount
+
+        cases = [0, 1, 2, 3, (1 << 63) - 1, 1 << 63, (1 << 200) | (1 << 7) | 1]
+        rng_like = 0x9E3779B97F4A7C15
+        for k in range(64):
+            cases.append((rng_like * (k + 1)) & ((1 << 128) - 1))
+        for x in cases:
+            assert _popcount(x) == bin(x).count("1")

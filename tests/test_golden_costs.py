@@ -141,6 +141,37 @@ REFINED_GOLDEN = [
         43,
         38,
     ),
+    # the bench registry's bumped step budget (the kernel-backed refiner
+    # scores ~2x the candidates in the same wall budget, so the quick-tier
+    # scenarios moved from 192 to 384 steps)
+    (
+        "anytime-fft-quick-384",
+        lambda: PebblingProblem(fft_dag(16), r=6, game="prbp"),
+        "anytime",
+        {"seed": 0, "refine_steps": 384},
+        82,
+        77,
+    ),
+    (
+        "anytime-random-layered-quick-384",
+        lambda: PebblingProblem(
+            random_layered_dag((6, 8, 8, 6, 4), edge_probability=0.3, max_in_degree=4, seed=5),
+            r=6,
+            game="prbp",
+        ),
+        "anytime",
+        {"seed": 0, "refine_steps": 384},
+        40,
+        34,
+    ),
+    (
+        "anytime-tree-offcritical-quick-384",
+        lambda: PebblingProblem(kary_tree_dag(3, 3), r=5, game="rbp"),
+        "anytime",
+        {"seed": 0, "refine_steps": 384},
+        43,
+        38,
+    ),
 ]
 
 

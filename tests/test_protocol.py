@@ -1,14 +1,17 @@
 """Wire protocol of repro.service: framing, schemas, round trips, and fuzz."""
 
 import asyncio
+import base64
 import json
 import struct
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.api import PebblingProblem, solve
+from repro.core.schedule_ir import ir_from_arrays, pack_arrays, unpack_arrays
 from repro.core.variants import ONE_SHOT, RECOMPUTE, GameVariant
 from repro.dags import chained_gadget_dag, figure1_gadget, kary_tree_dag
 from repro.dags.random_dags import random_layered_dag
@@ -290,25 +293,45 @@ class TestResultRoundTrip:
         with pytest.raises(ProtocolError, match="replays to"):
             result_from_wire(problem, doc)
 
-    def test_illegal_move_lists_are_refused(self):
+    def test_illegal_schedules_are_refused(self):
         problem = PebblingProblem(kary_tree_dag(2, 3), r=3, game="prbp")
         doc = result_to_wire(solve(problem))
-        doc["schedule"]["moves"] = doc["schedule"]["moves"][1:]  # breaks legality
+        # drop the first move: still representable columns, no longer legal
+        op, node, arg = unpack_arrays(doc["schedule"])
+        truncated = ir_from_arrays(
+            problem.game, problem.dag, problem.r, problem.variant, op[1:], node[1:], arg[1:]
+        )
+        doc["schedule"] = {**pack_arrays(truncated), "description": ""}
         with pytest.raises(ProtocolError):
             result_from_wire(problem, doc)
 
-    def test_moves_from_the_wrong_game_are_refused(self):
+    def test_columns_from_the_wrong_game_are_refused(self):
         rbp = PebblingProblem(figure1_gadget(), r=4, game="rbp")
         prbp = PebblingProblem(figure1_gadget(), r=4, game="prbp")
         with pytest.raises(ProtocolError):
             result_from_wire(rbp, result_to_wire(solve(prbp)))
 
-    def test_unknown_move_kind_is_refused(self):
+    def test_tampered_columns_are_refused(self):
         problem = _problems()[0]
-        doc = result_to_wire(solve(problem))
-        doc["schedule"]["moves"][0] = ["teleport", 0]
-        with pytest.raises(ProtocolError, match="unknown move kind"):
-            result_from_wire(problem, doc)
+        good = result_to_wire(solve(problem))
+        for mutate in (
+            lambda d: d["schedule"].__setitem__("ops", "not base64!"),
+            lambda d: d["schedule"].__setitem__("nodes", base64.b64encode(b"\x07").decode()),
+            lambda d: d["schedule"].__setitem__("count", -1),
+            lambda d: d["schedule"].pop("args"),
+            lambda d: d.__setitem__("schedule", None),
+            # an out-of-range op code, packed exactly like a real column
+            lambda d: d["schedule"].__setitem__(
+                "ops",
+                base64.b64encode(
+                    np.full(d["schedule"]["count"], 7, dtype="<i4").tobytes()
+                ).decode(),
+            ),
+        ):
+            doc = json.loads(json.dumps(good))
+            mutate(doc)
+            with pytest.raises(ProtocolError):
+                result_from_wire(problem, doc)
 
 
 class TestVariantCodec:

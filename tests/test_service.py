@@ -27,7 +27,7 @@ from repro.service import (
     ServiceError,
     SolveService,
 )
-from repro.service.protocol import encode_frame, make_request, read_frame
+from repro.service.protocol import PROTOCOL_VERSION, encode_frame, make_request, read_frame
 
 
 def _mixed_workload():
@@ -575,7 +575,7 @@ class TestObservability:
             async with await ServiceClient.connect(host, port) as client:
                 await client.solve(PebblingProblem(figure1_gadget(), r=4, game="prbp"))
                 stats = await client.stats()
-            assert stats["protocol_version"] == 1
+            assert stats["protocol_version"] == PROTOCOL_VERSION
             assert stats["pool"]["mode"] == "thread"
             assert stats["queue"]["max_pending"] == 256
             assert stats["jobs"]["admitted"] == 1

@@ -230,6 +230,57 @@ class TestCacheIntegrity:
         assert cache.stats.corrupt == 1
         assert got.problem == problem and got.cost == 2
 
+    def test_old_format_entry_is_recomputed_not_misread(self, tmp_path):
+        # A pre-v3 entry (the whole SolveResult pickled under "result") with
+        # a *valid* checksum, planted at the v3 path for the right problem:
+        # the read path must recognise the foreign layout and recompute,
+        # never try to interpret the old pickle as a current entry.
+        import hashlib
+
+        problem, digest, path, want = self._prime(tmp_path)
+        payload = pickle.dumps(
+            {"digest": digest, "result": want}, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        path.write_bytes(hashlib.sha256(payload).hexdigest().encode() + b"\n" + payload)
+        cache = ResultCache(directory=tmp_path)
+        [got] = solve_many([problem], cache=cache)
+        assert cache.stats.corrupt == 1
+        assert cache.stats.stores == 1  # recomputed and re-stored in v3 form
+        assert got.cost == want.cost and got.schedule.moves == want.schedule.moves
+
+    def test_tampered_columns_are_rejected(self, tmp_path):
+        # Checksum-valid entry whose packed node column was edited: the IR
+        # digest (and the kernel replay behind it) must catch the edit, the
+        # same way a tampered JSONL record is rejected by the corpus layer.
+        import hashlib
+
+        from repro.core.schedule_ir import ir_from_arrays, pack_arrays, unpack_arrays
+
+        problem, digest, path, want = self._prime(tmp_path)
+        _, payload = path.read_bytes().split(b"\n", 1)
+        doc = pickle.loads(payload)
+        op, node, arg = unpack_arrays(doc["arrays"])
+        node = node.copy()
+        node[0] = (int(node[0]) + 1) % problem.dag.n  # different, still-valid node id
+        doc["arrays"] = pack_arrays(
+            ir_from_arrays(
+                problem.game,
+                problem.dag,
+                problem.r,
+                problem.variant,
+                op,
+                node,
+                arg,
+                description=str(doc["description"]),
+            )
+        )
+        payload = pickle.dumps(doc, protocol=pickle.HIGHEST_PROTOCOL)
+        path.write_bytes(hashlib.sha256(payload).hexdigest().encode() + b"\n" + payload)
+        cache = ResultCache(directory=tmp_path)
+        [got] = solve_many([problem], cache=cache)
+        assert cache.stats.corrupt == 1
+        assert got.cost == want.cost and got.schedule.moves == want.schedule.moves
+
     def test_memory_only_cache(self):
         problems = _mixed_batch()[:2]
         cache = ResultCache(directory=None)
