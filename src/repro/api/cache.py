@@ -205,13 +205,20 @@ class ResultCache:
         Bound on the in-memory LRU (oldest entries are evicted first).
     max_disk_bytes:
         Optional cap on the total size of the on-disk tier.  After every
-        disk write the store is pruned *oldest-first* (by modification
-        time — i.e. write order) until it fits under the cap — the policy
-        a long-running daemon needs, since the disk tier otherwise grows
-        one pickle per distinct problem forever.
+        disk write the store is pruned *least-recently-used-first* until it
+        fits under the cap — the policy a long-running daemon needs, since
+        the disk tier otherwise grows one pickle per distinct problem
+        forever.  Recency is tracked in the entry's mtime: every successful
+        disk read touches the file, so a constantly-hit hot entry survives
+        prunes that evict never-read colder ones (without the touch,
+        eviction would silently degrade to FIFO by write time).
         ``None`` (the default) keeps the historical unbounded behaviour.
         A cap smaller than a single entry prunes that entry too: the cache
         degrades to memory-only rather than overshooting its budget.
+        Several processes (e.g. the solve nodes of a cluster) may share one
+        directory: a file another process pruned between this process's
+        scan and its own delete is treated as already pruned, never as an
+        error.
     validate:
         When True (default), a disk entry's decoded schedule is replayed
         through the vectorised replay kernel before being served and its
@@ -371,15 +378,22 @@ class ResultCache:
         return entries
 
     def _prune_disk(self, max_disk_bytes: int) -> None:
-        """Delete oldest-first until the disk tier fits under the cap.
+        """Delete least-recently-used-first until the disk tier fits the cap.
 
-        Scans the store once (the scan is also the authoritative recount —
-        the incremental total in :meth:`put` can drift if another process
-        shares the directory) and leaves ``_disk_total`` exact.
+        Reads refresh an entry's mtime (see :meth:`_read_disk`), so mtime
+        ascending is recency order, not just write order; path breaks
+        same-second ties deterministically.  Scans the store once (the scan
+        is also the authoritative recount — the incremental total in
+        :meth:`put` can drift if another process shares the directory) and
+        leaves ``_disk_total`` exact.
+
+        A file that vanishes between the scan and our unlink was pruned by
+        a peer process sharing the directory; its bytes are gone either
+        way, so it is accounted as already pruned and the pass continues.
         """
         entries = self._disk_entries()
         total = sum(size for _, size, _ in entries)
-        # mtime ascending = write order; path breaks same-second ties stably
+        # mtime ascending = least recently used; path breaks same-second ties
         for _, size, path in sorted(entries, key=lambda e: (e[0], str(e[2]))):
             if total <= max_disk_bytes:
                 break
@@ -387,6 +401,8 @@ class ResultCache:
                 path.unlink()
                 self.stats.evicted += 1
                 total -= size
+            except FileNotFoundError:
+                total -= size  # a peer pruned it first; same outcome
             except OSError:
                 self.stats.io_errors += 1
         self._disk_total = total
@@ -400,6 +416,8 @@ class ResultCache:
                 except OSError:
                     pass
             path.unlink()
+        except FileNotFoundError:
+            pass  # a peer process already dropped it; nothing left to discard
         except OSError:
             self.stats.io_errors += 1
 
@@ -479,7 +497,15 @@ class ResultCache:
             if hashlib.sha256(payload).hexdigest().encode("ascii") != checksum:
                 raise ValueError("payload checksum mismatch")
             doc = pickle.loads(payload)
-            return self._decode_entry(problem, digest, doc)
+            result = self._decode_entry(problem, digest, doc)
+            try:
+                # Touch-on-read: the LRU prune orders by mtime, so a served
+                # entry must register as recently used or capped eviction
+                # degrades to FIFO by write time and hot entries die first.
+                os.utime(path)
+            except OSError:
+                pass  # read-only store / vanished file: serving still works
+            return result
         except Exception:
             # Truncation, bit flips, stale pickles from an incompatible
             # version (including pre-v3 whole-result pickles), forged

@@ -35,12 +35,15 @@ from .client import ProgressEvent, ServiceClient, ServiceError, solve_via_servic
 from .protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION, ProtocolError
 from .queue import (
     AdmissionQueue,
+    ClientRateLimiter,
     DeadlineExceeded,
     JobState,
     QueueClosed,
     QueueFull,
     ServiceJob,
+    TokenBucket,
 )
+from .router import BackendSpec, HashRing, RouterConfig, SolveRouter, run_router
 from .server import ServiceConfig, SolveService, run_service
 from .workers import WorkerPool
 
@@ -53,11 +56,18 @@ __all__ = [
     "ServiceError",
     "solve_via_service",
     "AdmissionQueue",
+    "ClientRateLimiter",
     "DeadlineExceeded",
     "JobState",
     "QueueClosed",
     "QueueFull",
     "ServiceJob",
+    "TokenBucket",
+    "BackendSpec",
+    "HashRing",
+    "RouterConfig",
+    "SolveRouter",
+    "run_router",
     "ServiceConfig",
     "SolveService",
     "run_service",

@@ -13,6 +13,14 @@ Subcommands:
   client, verifies the answers are bit-identical to local ``solve()``
   calls, re-requests them asserting shared-cache hits, streams one anytime
   solve asserting ≥ 2 improving cost events, then drains and shuts down.
+* ``route`` — run a :class:`~repro.service.router.SolveRouter` in the
+  foreground: consistent-hash routing by problem digest over ``--backend``
+  solve nodes, with tiered caching, per-client rate limits and failover.
+* ``cluster-smoke`` — self-contained cluster check (used by CI): boots one
+  router over N in-process backends, then proves the sharding story end to
+  end — deterministic consistent-hash placement, hot-LRU repeats, a peer
+  fetch that avoids a recompute, a backend kill answered by bit-identical
+  failover re-dispatch, and token-bucket shedding with typed errors.
 
 Exit codes: 0 on success; 1 on any failure (including smoke assertions).
 """
@@ -29,7 +37,8 @@ import tempfile
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..api import PebblingProblem, solve
-from .client import ProgressEvent, ServiceClient
+from .client import ProgressEvent, ServiceClient, ServiceError
+from .router import BackendSpec, HashRing, RouterConfig, SolveRouter
 from .server import ServiceConfig, SolveService
 
 __all__ = ["main"]
@@ -68,7 +77,7 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="BYTES",
-        help="cap the cache's disk tier; oldest entries are pruned first",
+        help="cap the cache's disk tier; least-recently-used entries are pruned first",
     )
     serve.add_argument(
         "--no-processes",
@@ -102,6 +111,50 @@ def _build_parser() -> argparse.ArgumentParser:
     smoke = sub.add_parser("smoke", help="self-contained end-to-end service check (CI)")
     smoke.add_argument("--workers", type=int, default=2, metavar="N")
     smoke.add_argument(
+        "--no-processes", action="store_true", help="force the thread worker path"
+    )
+
+    route = sub.add_parser("route", help="run a cluster front router in the foreground")
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument("--port", type=int, default=7420, help="0 binds an ephemeral port")
+    route.add_argument(
+        "--backend",
+        action="append",
+        required=True,
+        metavar="HOST:PORT",
+        help="a backend solve node (repeat for each node)",
+    )
+    route.add_argument(
+        "--ring-replicas", type=int, default=64, metavar="N", help="virtual nodes per backend"
+    )
+    route.add_argument(
+        "--hot-cache", type=int, default=2048, metavar="N", help="router hot-LRU entries"
+    )
+    route.add_argument(
+        "--max-inflight", type=int, default=512, metavar="N", help="overload shed threshold"
+    )
+    route.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="R",
+        help="per-client token-bucket refill (requests/s); omit for unlimited",
+    )
+    route.add_argument(
+        "--burst", type=float, default=None, metavar="B", help="token-bucket capacity"
+    )
+    route.add_argument(
+        "--no-peer-probe",
+        action="store_true",
+        help="skip peer cache probes (primary answers or recomputes)",
+    )
+
+    cluster = sub.add_parser(
+        "cluster-smoke", help="self-contained router+backends cluster check (CI)"
+    )
+    cluster.add_argument("--backends", type=int, default=3, metavar="N")
+    cluster.add_argument("--workers", type=int, default=1, metavar="N")
+    cluster.add_argument(
         "--no-processes", action="store_true", help="force the thread worker path"
     )
     return parser
@@ -300,6 +353,242 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
     return asyncio.run(_smoke(args.workers, prefer_processes=not args.no_processes))
 
 
+# --------------------------------------------------------------------------- #
+# route
+# --------------------------------------------------------------------------- #
+
+
+def _parse_backend(text: str) -> BackendSpec:
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"error: --backend needs HOST:PORT, got {text!r}")
+    return BackendSpec(host, int(port))
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    config = RouterConfig(
+        backends=tuple(_parse_backend(text) for text in args.backend),
+        host=args.host,
+        port=args.port,
+        ring_replicas=args.ring_replicas,
+        hot_cache_entries=args.hot_cache,
+        max_inflight=args.max_inflight,
+        rate_limit_per_s=args.rate_limit,
+        rate_limit_burst=args.burst,
+        peer_probe=not args.no_peer_probe,
+    )
+
+    async def run() -> None:
+        router = SolveRouter(config)
+        await router.start()
+        host, port = router.address
+        names = ", ".join(spec.name for spec in config.backends)
+        print(f"repro-route listening on {host}:{port} over [{names}]", flush=True)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(sig, router.request_shutdown)
+        await router.serve_forever()
+        print("repro-route: drained and stopped", flush=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# cluster smoke
+# --------------------------------------------------------------------------- #
+
+
+def _uncached_problem_for(
+    ring: HashRing, primary: str, taken: set
+) -> Tuple[PebblingProblem, str]:
+    """A fresh problem whose ring primary is ``primary`` (for failover tests)."""
+    from ..api.cache import problem_digest
+    from ..dags import kary_tree_dag
+
+    for arity in (2, 3):
+        for depth in (3, 4, 5, 6):
+            for r in (2, 3, 4, 5):
+                problem = PebblingProblem(kary_tree_dag(arity, depth), r=r)
+                digest = problem_digest(problem, solver="auto", options={})
+                if digest not in taken and ring.route(digest) == primary:
+                    taken.add(digest)
+                    return problem, digest
+    raise RuntimeError(f"no candidate problem hashed to backend {primary}")
+
+
+async def _cluster_smoke(backends_n: int, workers: int, prefer_processes: bool) -> int:
+    from ..api.cache import problem_digest
+
+    failures: List[str] = []
+    with contextlib.ExitStack() as stack:
+        # one *separate* cache dir per backend: peer fetch must cross the
+        # network through the cache_only probe, not leak through a shared disk
+        backends: List[SolveService] = []
+        for _ in range(backends_n):
+            cache_dir = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-cluster-smoke-")
+            )
+            service = SolveService(
+                ServiceConfig(
+                    port=0,
+                    workers=workers,
+                    cache_dir=cache_dir,
+                    prefer_processes=prefer_processes,
+                )
+            )
+            await service.start()
+            backends.append(service)
+        specs = tuple(BackendSpec(*service.address) for service in backends)
+        by_name = {spec.name: service for spec, service in zip(specs, backends)}
+        router = SolveRouter(RouterConfig(backends=specs, failure_threshold=1, cooldown_s=30.0))
+        await router.start()
+        host, port = router.address
+        ring = HashRing(tuple(spec.name for spec in specs))
+        print(f"cluster-smoke: router on {host}:{port} over {len(backends)} backends")
+
+        async with await ServiceClient.connect(host, port) as client:
+            pong = await client.ping()
+            _check(pong.get("role") == "router", "router answers ping with role=router", failures)
+
+            # 1. consistent-hash placement: the backend each solve lands on is
+            #    exactly the one an independently built ring predicts
+            workload = [(name, *_scenario_problem(name, "quick")) for name in SMOKE_SCENARIOS]
+            for name, problem, solver, options in workload:
+                local = solve(problem, solver=solver, **options)
+                remote, meta = await client.solve_detailed(problem, solver, **options)
+                digest = problem_digest(problem, solver=solver, options=dict(options))
+                _check(
+                    remote.cost == local.cost and remote.schedule.moves == local.schedule.moves,
+                    f"{name}: routed result bit-identical to local solve (cost {remote.cost})",
+                    failures,
+                )
+                _check(
+                    meta["backend"] == ring.route(digest),
+                    f"{name}: landed on ring-predicted backend {ring.route(digest)}",
+                    failures,
+                )
+
+            # 2. repeats hit the router's hot LRU without touching a backend
+            before = (await client.stats())["routing"]
+            for name, problem, solver, options in workload:
+                _, meta = await client.solve_detailed(problem, solver, **options)
+                _check(meta["cache_hit"], f"{name}: repeat answered from cluster cache", failures)
+            after = (await client.stats())["routing"]
+            _check(
+                after["hot_hits"] - before["hot_hits"] >= len(workload),
+                f"hot LRU served {after['hot_hits'] - before['hot_hits']} repeat(s), "
+                "no backend round trips",
+                failures,
+            )
+            _check(
+                after["dispatched"] == before["dispatched"],
+                "repeats dispatched no new backend solves",
+                failures,
+            )
+
+            # 3. peer fetch: a result computed on a NON-primary node is found
+            #    by probing peers, so the primary never recomputes it
+            taken: set = set()
+            primary_name = specs[0].name
+            peer_name = specs[1 % len(specs)].name
+            peer_problem, peer_digest = _uncached_problem_for(ring, primary_name, taken)
+            peer_pref = ring.preference(peer_digest)
+            donor = by_name[peer_pref[1]]  # first non-primary on the ring
+            async with await ServiceClient.connect(*donor.address) as direct:
+                seeded = await direct.solve(peer_problem)
+            routed, meta = await client.solve_detailed(peer_problem)
+            stats = await client.stats()
+            _check(
+                meta["cache_hit"] and meta["backend"] == peer_pref[1],
+                f"peer fetch answered from non-primary {peer_pref[1]}",
+                failures,
+            )
+            _check(
+                routed.cost == seeded.cost and stats["routing"]["peer_fetch_hits"] >= 1,
+                f"peer fetch avoided a recompute (peer_fetch_hits="
+                f"{stats['routing']['peer_fetch_hits']})",
+                failures,
+            )
+
+            # 4. failover: kill a backend hard, then route a fresh problem
+            #    whose primary it was — the answer must come from another
+            #    node, bit-identical to a local solve
+            victim_problem, victim_digest = _uncached_problem_for(ring, peer_name, taken)
+            victim = by_name[peer_name]
+            await victim.shutdown(drain=False)
+            local = solve(victim_problem)
+            remote, meta = await client.solve_detailed(victim_problem)
+            stats = await client.stats()
+            _check(
+                remote.cost == local.cost and remote.schedule.moves == local.schedule.moves,
+                f"failover result bit-identical after killing {peer_name} (cost {remote.cost})",
+                failures,
+            )
+            _check(
+                meta["backend"] != peer_name and meta["backend"] in by_name,
+                f"re-dispatched to surviving backend {meta['backend']}",
+                failures,
+            )
+            _check(
+                any(not b["alive"] for b in stats["backends"]),
+                "router marked the killed backend down",
+                failures,
+            )
+
+        # 5. rate limiting: a second router with a one-token bucket sheds the
+        #    second request with a typed error (counted, not dropped)
+        limited = SolveRouter(
+            RouterConfig(
+                backends=(specs[0],),
+                rate_limit_per_s=0.001,
+                rate_limit_burst=1,
+            )
+        )
+        await limited.start()
+        async with await ServiceClient.connect(*limited.address) as client:
+            name, problem, solver, options = workload[0]
+            _ = await client.solve_detailed(problem, solver, client_id="smoke", **options)
+            try:
+                await client.solve_detailed(problem, solver, client_id="smoke", **options)
+                shed_ok = False
+            except ServiceError as exc:
+                shed_ok = exc.code == "rate-limited"
+            stats = limited.stats()
+            _check(shed_ok, "second request shed with a typed rate-limited error", failures)
+            _check(
+                stats["shed"]["rate_limited"] == 1,
+                "shed request was counted, not silently dropped",
+                failures,
+            )
+        await limited.shutdown()
+
+        await router.shutdown()
+        for service in backends:
+            if service is not victim:
+                await service.shutdown()
+        print("cluster-smoke: router and backends drained")
+
+    if failures:
+        print(f"cluster-smoke: {len(failures)} check(s) FAILED", file=sys.stderr)
+        return 1
+    print("cluster-smoke: all checks passed")
+    return 0
+
+
+def _cmd_cluster_smoke(args: argparse.Namespace) -> int:
+    if args.backends < 2:
+        print("error: cluster-smoke needs at least 2 backends", file=sys.stderr)
+        return 1
+    return asyncio.run(
+        _cluster_smoke(args.backends, args.workers, prefer_processes=not args.no_processes)
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -309,6 +598,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "shutdown": _cmd_shutdown,
         "solve": _cmd_solve,
         "smoke": _cmd_smoke,
+        "route": _cmd_route,
+        "cluster-smoke": _cmd_cluster_smoke,
     }
     try:
         return handlers[args.command](args)

@@ -159,11 +159,17 @@ class ServiceClient:
         *,
         priority: int = 0,
         deadline_s: Optional[float] = None,
+        client_id: Optional[str] = None,
         **options: object,
     ) -> SolveResult:
         """Solve remotely and return the validated result."""
         result, _ = await self.solve_detailed(
-            problem, solver, priority=priority, deadline_s=deadline_s, **options
+            problem,
+            solver,
+            priority=priority,
+            deadline_s=deadline_s,
+            client_id=client_id,
+            **options,
         )
         return result
 
@@ -174,9 +180,18 @@ class ServiceClient:
         *,
         priority: int = 0,
         deadline_s: Optional[float] = None,
+        client_id: Optional[str] = None,
         **options: object,
     ) -> Tuple[SolveResult, Dict[str, Any]]:
-        """:meth:`solve` plus the response metadata (``cache_hit``, ``job_id``)."""
+        """:meth:`solve` plus the response metadata (``cache_hit``, ``job_id``).
+
+        ``client_id`` is the rate-limit identity a front router buckets
+        requests under; a plain single-node server ignores it.  The metadata
+        also carries ``backend`` when a router answered (which node served).
+        """
+        fields: Dict[str, object] = {}
+        if client_id is not None:
+            fields["client_id"] = client_id
         doc = self._expect(
             await self._roundtrip(
                 "solve",
@@ -187,11 +202,48 @@ class ServiceClient:
                 deadline_s=deadline_s,
                 stream=False,
                 wait=True,
+                **fields,
             ),
             "result",
         )
         result = self._decode_result(problem, doc)
-        return result, {"cache_hit": bool(doc.get("cache_hit")), "job_id": doc.get("job_id")}
+        return result, {
+            "cache_hit": bool(doc.get("cache_hit")),
+            "job_id": doc.get("job_id"),
+            "backend": doc.get("backend"),
+        }
+
+    async def probe(
+        self,
+        problem: PebblingProblem,
+        solver: str = "auto",
+        **options: object,
+    ) -> Optional[SolveResult]:
+        """Ask the server's shared cache for a result *without* solving.
+
+        Returns the cached (replay-validated) result, or ``None`` when the
+        server answers ``cache-miss``.  This is the peer-fetch primitive the
+        cluster router uses: probing every peer costs one cache lookup each,
+        which is always cheaper than recomputing a solve.
+        """
+        try:
+            doc = self._expect(
+                await self._roundtrip(
+                    "solve",
+                    problem=protocol.problem_to_wire(problem),
+                    solver=solver,
+                    options=dict(options),
+                    stream=False,
+                    wait=True,
+                    cache_only=True,
+                ),
+                "result",
+            )
+        except ServiceError as exc:
+            if exc.code == "cache-miss":
+                return None
+            raise
+        return self._decode_result(problem, doc)
 
     async def solve_stream(
         self,

@@ -79,7 +79,12 @@ __all__ = [
 #: Bumped on any incompatible change to the frame layout or message schemas.
 #: v2: result frames carry the schedule as packed schedule-IR columns
 #: instead of a per-move JSON list.
-PROTOCOL_VERSION = 2
+#: v3: ``solve`` requests may carry ``cache_only`` (answer from the shared
+#: cache or fail with ``cache-miss`` — the cluster's peer-fetch probe) and
+#: ``client_id`` (rate-limit identity, consumed by the front router);
+#: responses may carry ``backend`` (which node served a routed request);
+#: router-origin error codes added.
+PROTOCOL_VERSION = 3
 
 #: Upper bound on a single frame's payload.  Large enough for the move list
 #: of a multi-thousand-node schedule, small enough that a garbage length
@@ -107,6 +112,14 @@ ERROR_CODES = frozenset(
         "unknown-job",
         "shutting-down",
         "internal",
+        # v3 — cluster codes.  ``cache-miss`` answers a cache_only probe the
+        # shared cache cannot serve; the rest originate at the front router:
+        # a client over its token bucket, a router at its in-flight bound,
+        # and a request whose every candidate backend is down.
+        "cache-miss",
+        "rate-limited",
+        "overloaded",
+        "no-backend",
     }
 )
 
@@ -242,6 +255,22 @@ def validate_request(doc: Mapping[str, object]) -> Dict[str, object]:
         _require(isinstance(stream, bool), "'stream' must be a boolean")
         _require(isinstance(wait, bool), "'wait' must be a boolean")
         _require(not (stream and not wait), "'stream' requires 'wait': a fire-and-forget solve cannot stream")
+        cache_only = doc.get("cache_only", False)
+        _require(isinstance(cache_only, bool), "'cache_only' must be a boolean")
+        _require(
+            not (cache_only and stream),
+            "'cache_only' cannot stream: a cache probe never runs a solve",
+        )
+        _require(
+            not (cache_only and not wait),
+            "'cache_only' requires 'wait': a probe's whole point is its immediate answer",
+        )
+        client_id = doc.get("client_id")
+        if client_id is not None:
+            _require(
+                isinstance(client_id, str) and bool(client_id),
+                "'client_id' must be a non-empty string or absent",
+            )
         priority = doc.get("priority", 0)
         _require(
             isinstance(priority, int) and not isinstance(priority, bool),

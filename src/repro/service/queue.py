@@ -19,6 +19,12 @@ Jobs also carry the machinery the server's dedup and streaming need: an
 several requests share one job), and a list of subscriber queues that
 receive anytime-progress events for streamed solves.
 
+The admission family also includes the *rate-limiting* primitives the
+front router layers on top of this queue: :class:`TokenBucket` and the
+per-client :class:`ClientRateLimiter` (bounded, LRU-turnover).  They live
+here because they are admission policy — who gets to enter the system —
+even though the enforcement point is one hop upstream of this queue.
+
 Everything here is event-loop-thread only — not thread-safe, by design.
 The worker bridge hops back onto the loop before touching job state.
 """
@@ -28,20 +34,23 @@ from __future__ import annotations
 import asyncio
 import heapq
 import itertools
-from collections import deque
+import time
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 from ..api.problem import PebblingProblem
 
 __all__ = [
     "AdmissionQueue",
+    "ClientRateLimiter",
     "DeadlineExceeded",
     "JobState",
     "QueueClosed",
     "QueueFull",
     "ServiceJob",
+    "TokenBucket",
 ]
 
 
@@ -244,3 +253,101 @@ class AdmissionQueue:
                 waiter.set_result(None)
                 if not all_waiters:
                     return
+
+
+# --------------------------------------------------------------------------- #
+# rate limiting (the layer the front router adds on top of admission)
+# --------------------------------------------------------------------------- #
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/s refill, ``burst`` capacity.
+
+    The bucket starts full (a fresh client may burst immediately) and refills
+    continuously — fractional tokens accumulate between requests, so a
+    bucket with ``rate=10`` really does admit ten requests per second in
+    steady state, not whatever integer truncation leaves.  The clock is
+    injectable for deterministic tests; production uses ``time.monotonic``.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 tokens/s, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must admit at least one request, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._refilled_at = clock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; ``False`` (and no debit) otherwise."""
+        now = self._clock()
+        elapsed = max(0.0, now - self._refilled_at)
+        self._refilled_at = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (refill applied lazily on acquire)."""
+        elapsed = max(0.0, self._clock() - self._refilled_at)
+        return min(self.burst, self._tokens + elapsed * self.rate)
+
+
+class ClientRateLimiter:
+    """Per-client token buckets with LRU turnover of idle identities.
+
+    One bucket per ``client_id``; an unknown id gets a fresh (full) bucket.
+    The table is bounded: past ``max_clients`` the least-recently-seen
+    identity is dropped — its next request simply mints a new full bucket,
+    which errs toward admitting, never toward starving a returning client.
+    ``rate=None`` disables limiting entirely (every ``allow`` is True), so
+    callers can hold one object and skip the policy decision.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: Optional[float] = None,
+        max_clients: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_clients < 1:
+            raise ValueError(f"max_clients must be >= 1, got {max_clients}")
+        self.rate = None if rate is None else float(rate)
+        #: Default burst: one second's worth of tokens, floored at 1.
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate or 1.0)
+        self.max_clients = max_clients
+        self._clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        #: Requests refused across all clients (observability counter).
+        self.rejected = 0
+
+    def allow(self, client_id: str) -> bool:
+        """Debit one token from ``client_id``'s bucket; ``False`` = over limit."""
+        if self.rate is None:
+            return True
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[client_id] = bucket
+        self._buckets.move_to_end(client_id)
+        while len(self._buckets) > self.max_clients:
+            self._buckets.popitem(last=False)
+        if bucket.try_acquire():
+            return True
+        self.rejected += 1
+        return False
+
+    def __len__(self) -> int:
+        return len(self._buckets)

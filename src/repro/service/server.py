@@ -98,6 +98,8 @@ class _Stats:
         self.completed = 0
         self.failed = 0
         self.cache_answers = 0
+        self.probe_hits = 0
+        self.probe_misses = 0
         self.dedup_shared = 0
         self.rejected_full = 0
         self.rejected_closing = 0
@@ -268,6 +270,8 @@ class SolveService:
                 "failed": self._stats.failed,
                 "expired": self._queue.expired,
                 "cache_answers": self._stats.cache_answers,
+                "probe_hits": self._stats.probe_hits,
+                "probe_misses": self._stats.probe_misses,
                 "dedup_shared": self._stats.dedup_shared,
                 "rejected_full": self._stats.rejected_full,
                 "rejected_closing": self._stats.rejected_closing,
@@ -443,6 +447,24 @@ class SolveService:
 
         digest = problem_digest(problem, solver=solver, options=options)
         cacheable = cacheable_options(options)
+
+        # 0. a cache probe (cluster peer-fetch) never solves: answer from
+        # the shared cache or refuse with `cache-miss`, costing at most one
+        # cache lookup — that is what lets a router ask "do you have this?"
+        # of every peer before paying for a recompute anywhere
+        if bool(request.get("cache_only", False)):
+            hit = None
+            if self.cache is not None and cacheable:
+                hit = await self._cache_get(problem, digest)
+            if hit is None:
+                self._stats.probe_misses += 1
+                await self._try_send_error(
+                    writer, request_id, "cache-miss", "the shared cache holds no entry for this digest"
+                )
+            else:
+                self._stats.probe_hits += 1
+                await self._send_result(writer, request_id, None, hit, cache_hit=True)
+            return
 
         # 1. the shared cache answers repeats without touching the queue
         if self.cache is not None and cacheable:

@@ -67,8 +67,8 @@ from __future__ import annotations
 
 import heapq
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
 from itertools import count
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -77,6 +77,7 @@ from ..bounds.prbp_bounds import (
     prbp_dominator_lower_bound_exact,
     prbp_edge_lower_bound_exact,
 )
+from ..core.canonical import dag_digest
 from ..core.dag import ComputationalDAG
 from ..core.exceptions import SolverError
 from ..core.moves import MoveKind, PRBPMove, RBPMove
@@ -95,6 +96,7 @@ __all__ = [
     "SearchTelemetry",
     "last_search_telemetry",
     "root_lower_bound",
+    "root_lower_bound_cache_clear",
 ]
 
 #: Default cap on the number of distinct configurations the solvers may expand.
@@ -109,7 +111,26 @@ ROOT_BOUND_NODE_LIMIT = 9
 ROOT_BOUND_EDGE_LIMIT = 12
 
 
-@lru_cache(maxsize=512)
+#: Bound on the memoised root bounds below.  The cache stores only
+#: ``(digest, r, game, variant) -> int`` — never DAG objects — so even at
+#: capacity it holds a few hundred strings and ints, not hundreds of graphs.
+ROOT_BOUND_CACHE_SIZE = 512
+
+_root_bound_cache: "OrderedDict[Tuple[str, int, str, GameVariant], int]" = OrderedDict()
+_root_bound_lock = threading.Lock()
+
+
+def root_lower_bound_cache_clear() -> None:
+    """Drop every memoised root bound.
+
+    Exposed so long-running hosts (the solve daemon's cache-pressure path,
+    test isolation) can release the memo deterministically instead of
+    waiting for LRU turnover.
+    """
+    with _root_bound_lock:
+        _root_bound_cache.clear()
+
+
 def root_lower_bound(dag: ComputationalDAG, r: int, game: str, variant: GameVariant) -> int:
     """A cheap lower bound on the total cost of any valid schedule.
 
@@ -123,7 +144,33 @@ def root_lower_bound(dag: ComputationalDAG, r: int, game: str, variant: GameVari
     The result floors every f-value of the A* searches below; it is a bound
     on *total* cost because I/O cost lower bounds remain valid when compute
     steps add a non-negative ε on top.
+
+    Results are memoised under the DAG's *content digest*, not the DAG
+    object: a resident daemon solving an endless stream of distinct
+    problems must not pin full graphs in an ``lru_cache`` for the life of
+    the process (the old behaviour — up to 512 DAGs held by key identity).
+    The bound is a pure function of the digested content, so equal digests
+    cannot disagree.  Thread-safe: the service's thread-pool fallback
+    solves concurrently.
     """
+    key = (dag_digest(dag), r, game, variant)
+    with _root_bound_lock:
+        cached = _root_bound_cache.get(key)
+        if cached is not None:
+            _root_bound_cache.move_to_end(key)
+            return cached
+    value = _compute_root_lower_bound(dag, r, game, variant)
+    with _root_bound_lock:
+        _root_bound_cache[key] = value
+        _root_bound_cache.move_to_end(key)
+        while len(_root_bound_cache) > ROOT_BOUND_CACHE_SIZE:
+            _root_bound_cache.popitem(last=False)
+    return value
+
+
+def _compute_root_lower_bound(
+    dag: ComputationalDAG, r: int, game: str, variant: GameVariant
+) -> int:
     if dag.n > 1 and any(dag.is_source(v) and dag.is_sink(v) for v in dag.nodes()):
         return 0  # an isolated node needs no I/O at all; stay conservative
     lb = dag.trivial_cost()

@@ -162,3 +162,64 @@ class TestBitHelpers:
             cases.append((rng_like * (k + 1)) & ((1 << 128) - 1))
         for x in cases:
             assert _popcount(x) == bin(x).count("1")
+
+
+class TestRootBoundMemo:
+    """The root-bound memo keys on content digests, never on DAG identity."""
+
+    def _default_variant(self):
+        from repro.core.variants import GameVariant
+
+        return GameVariant()
+
+    def test_cache_holds_scalars_keyed_by_digest_not_dags(self):
+        from repro.solvers import exhaustive
+        from repro.solvers.exhaustive import root_lower_bound, root_lower_bound_cache_clear
+
+        root_lower_bound_cache_clear()
+        dag = binary_tree_instance(3).dag
+        r = 2
+        variant = self._default_variant()
+        bound = root_lower_bound(dag, r, "rbp", variant)
+        assert bound >= 1
+        assert len(exhaustive._root_bound_cache) == 1
+        for key, value in exhaustive._root_bound_cache.items():
+            digest, key_r, game, key_variant = key
+            # nothing in the memo references the DAG object: a resident
+            # daemon must not pin graphs for the life of the process
+            assert isinstance(digest, str) and isinstance(value, int)
+            assert (key_r, game, key_variant) == (r, "rbp", variant)
+        root_lower_bound_cache_clear()
+        assert len(exhaustive._root_bound_cache) == 0
+
+    def test_structurally_equal_dags_share_one_entry(self):
+        from repro.solvers import exhaustive
+        from repro.solvers.exhaustive import root_lower_bound, root_lower_bound_cache_clear
+
+        root_lower_bound_cache_clear()
+        dag_a = binary_tree_instance(3).dag
+        dag_b = binary_tree_instance(3).dag
+        r = 2
+        assert dag_a is not dag_b
+        variant = self._default_variant()
+        first = root_lower_bound(dag_a, r, "rbp", variant)
+        second = root_lower_bound(dag_b, r, "rbp", variant)
+        assert first == second
+        # identity-keyed lru_cache (the old behaviour) would store two
+        assert len(exhaustive._root_bound_cache) == 1
+        root_lower_bound_cache_clear()
+
+    def test_lru_turnover_bounds_the_memo(self, monkeypatch):
+        from repro.solvers import exhaustive
+        from repro.solvers.exhaustive import root_lower_bound, root_lower_bound_cache_clear
+
+        root_lower_bound_cache_clear()
+        monkeypatch.setattr(exhaustive, "ROOT_BOUND_CACHE_SIZE", 3)
+        dag = binary_tree_instance(3).dag
+        variant = self._default_variant()
+        for r in (2, 3, 4, 5, 6):
+            root_lower_bound(dag, r, "rbp", variant)
+        assert len(exhaustive._root_bound_cache) == 3
+        keys = list(exhaustive._root_bound_cache)
+        assert [key[1] for key in keys] == [4, 5, 6]  # oldest r evicted first
+        root_lower_bound_cache_clear()

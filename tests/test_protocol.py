@@ -192,6 +192,23 @@ class TestRequestValidation:
         with pytest.raises(ProtocolError, match="'stream' requires 'wait'"):
             validate_request(self._solve_request(stream=True, wait=False))
 
+    def test_cache_only_probe_shape(self):
+        # the well-formed peer-fetch probe of the cluster router
+        assert validate_request(self._solve_request(cache_only=True))["cache_only"] is True
+        with pytest.raises(ProtocolError, match="'cache_only' must be a boolean"):
+            validate_request(self._solve_request(cache_only="yes"))
+        with pytest.raises(ProtocolError, match="cannot stream"):
+            validate_request(self._solve_request(cache_only=True, stream=True))
+        with pytest.raises(ProtocolError, match="requires 'wait'"):
+            validate_request(self._solve_request(cache_only=True, wait=False))
+
+    def test_client_id_must_be_a_nonempty_string_or_absent(self):
+        assert validate_request(self._solve_request(client_id="tenant-a"))["client_id"] == "tenant-a"
+        assert "client_id" not in validate_request(self._solve_request())
+        for bad in ("", 7, ["x"]):
+            with pytest.raises(ProtocolError, match="'client_id'"):
+                validate_request(self._solve_request(client_id=bad))
+
     def test_poll_requires_job_id(self):
         with pytest.raises(ProtocolError, match="'job_id'"):
             validate_request(make_request("poll", "r1"))

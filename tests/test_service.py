@@ -709,3 +709,39 @@ class TestCommandLine:
         warm_latency = doc["phases"]["warm"]["latency_s"]
         assert warm_latency["p99"] >= warm_latency["p50"]
         assert doc["server"]["admitted"] == 2
+
+
+class TestCacheProbe:
+    """cache_only solves: answer from the shared cache or fail typed, never solve."""
+
+    def test_probe_misses_then_hits_after_a_solve(self):
+        problem = _mixed_workload()[0]
+
+        async def scenario(service, host, port):
+            async with await ServiceClient.connect(host, port) as client:
+                assert await client.probe(problem) is None  # nothing solved yet
+                solved = await client.solve(problem)
+                probed = await client.probe(problem)
+                assert probed is not None
+                assert probed.cost == solved.cost
+                assert probed.schedule.moves == solved.schedule.moves
+                stats = await client.stats()
+                assert stats["jobs"]["probe_misses"] == 1
+                assert stats["jobs"]["probe_hits"] == 1
+                # the miss did not enqueue a solve: only the real one ran
+                assert stats["jobs"]["admitted"] == 1
+
+        _run_with_service(scenario)
+
+    def test_uncacheable_options_always_probe_miss(self):
+        async def scenario(service, host, port):
+            async with await ServiceClient.connect(host, port) as client:
+                await client.solve(_slow_problem(), **_slow_options())
+                # wall-clock budgets are uncacheable, so the probe cannot
+                # serve what the solve just computed
+                probed = await client.probe(_slow_problem(), "anytime", **{
+                    k: v for k, v in _slow_options().items() if k != "solver"
+                })
+                assert probed is None
+
+        _run_with_service(scenario, workers=1)

@@ -536,3 +536,94 @@ class TestDiskSizeCap:
         # batch answers are unaffected: memory tier plus recomputation
         second = solve_many(problems, cache=cache)
         _assert_identical(second, first)
+
+
+class TestDiskLRUTouchOnRead:
+    """Reads refresh recency: pruning is LRU by use, not FIFO by write time."""
+
+    def _fill(self, tmp_path, count=4):
+        """Four distinct entries with strictly increasing (ancient) mtimes."""
+        import os
+
+        problems = [
+            PebblingProblem(kary_tree_dag(2, 2), r=3, game="prbp"),
+            PebblingProblem(kary_tree_dag(2, 3), r=3, game="prbp"),
+            PebblingProblem(figure1_gadget(), r=4, game="prbp"),
+            PebblingProblem(figure1_gadget(), r=4, game="rbp"),
+        ][:count]
+        cache = ResultCache(directory=tmp_path)
+        stored = []
+        for i, problem in enumerate(problems):
+            digest = problem_digest(problem)
+            cache.put(digest, solve(problem))
+            os.utime(cache._path(digest), (1_000_000 + i, 1_000_000 + i))
+            stored.append((problem, digest))
+        return cache, stored
+
+    def test_read_refreshes_mtime(self, tmp_path):
+        cache, stored = self._fill(tmp_path)
+        problem, digest = stored[0]
+        before = cache._path(digest).stat().st_mtime
+        # a fresh instance has an empty memory tier, so the get() must go
+        # through the disk read that carries the touch
+        reader = ResultCache(directory=tmp_path)
+        assert reader.get(problem, digest) is not None
+        assert cache._path(digest).stat().st_mtime > before
+
+    def test_freshly_read_entry_survives_a_prune_that_evicts_older_unread(self, tmp_path):
+        """The LRU regression: under mtime-FIFO the oldest *write* dies first,
+        so reading entry 0 would not save it.  With touch-on-read it must
+        outlive entry 1, which was written later but never read."""
+        cache, stored = self._fill(tmp_path)
+        entry_size = cache.disk_bytes() // len(stored)
+        reader = ResultCache(directory=tmp_path)
+        assert reader.get(*stored[0]) is not None  # entry 0 is now the hottest
+        cache._prune_disk(int(entry_size * 2.5))  # room for two entries
+        assert cache._path(stored[0][1]).exists()  # read entry survives
+        assert not cache._path(stored[1][1]).exists()  # unread older write dies
+        assert not cache._path(stored[2][1]).exists()
+        assert cache._path(stored[3][1]).exists()  # newest write survives
+
+    def test_touch_failure_does_not_break_the_read(self, tmp_path, monkeypatch):
+        import os as _os
+
+        cache, stored = self._fill(tmp_path, count=1)
+
+        def deny_utime(*args, **kwargs):
+            raise OSError("read-only store")
+
+        reader = ResultCache(directory=tmp_path)
+        monkeypatch.setattr("repro.api.cache.os.utime", deny_utime)
+        result = reader.get(*stored[0])
+        assert result is not None  # serving must not depend on the touch
+
+
+class TestPruneVanishRace:
+    """Files vanishing between the prune's scan and unlink are not errors."""
+
+    def test_prune_tolerates_files_deleted_by_a_peer(self, tmp_path):
+        problem = PebblingProblem(kary_tree_dag(2, 2), r=3, game="prbp")
+        digest = problem_digest(problem)
+        cache = ResultCache(directory=tmp_path)
+        cache.put(digest, solve(problem))
+        real = cache._path(digest)
+        ghost = tmp_path / "ff" / "deadbeef.pkl"
+
+        original = cache._disk_entries
+
+        def with_ghost():
+            return original() + [(0.0, 4096, ghost)]  # oldest: pruned first
+
+        cache._disk_entries = with_ghost  # a peer deletes it post-scan
+        cache._prune_disk(0)  # must evict everything without raising
+        assert not real.exists()
+        assert cache.stats.evicted >= 1
+
+    def test_prune_scan_tolerates_stat_races(self, tmp_path):
+        """An entry vanishing between glob and stat is skipped, not fatal."""
+        problem = PebblingProblem(kary_tree_dag(2, 2), r=3, game="prbp")
+        cache = ResultCache(directory=tmp_path)
+        cache.put(problem_digest(problem), solve(problem))
+        # a plausible peer artifact: an empty shard dir left after its prune
+        (tmp_path / "aa").mkdir(exist_ok=True)
+        assert len(cache._disk_entries()) == 1
