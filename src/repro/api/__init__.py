@@ -47,7 +47,7 @@ from .registry import (
     solver_names,
     unregister_solver,
 )
-from .result import Schedule, SolveResult, SolveStats
+from .result import Schedule, SolveAttempt, SolveResult, SolveStats
 
 # importing the adapters registers every built-in solver
 from . import adapters as _adapters  # noqa: F401  (import for side effect)
@@ -56,6 +56,7 @@ __all__ = [
     "PebblingProblem",
     "GAMES",
     "SolveResult",
+    "SolveAttempt",
     "SolveStats",
     "Schedule",
     "solve",

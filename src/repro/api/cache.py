@@ -53,6 +53,7 @@ from ..core.schedule_ir import (
     unpack_arrays,
 )
 from ..core.strategy import ScheduleStats
+from ..obs.metrics import CounterFamily, MetricsRegistry
 from .problem import PebblingProblem
 from .result import SolveResult
 
@@ -232,8 +233,16 @@ class ResultCache:
     max_disk_bytes: Optional[int] = None
     validate: bool = True
     stats: CacheStats = field(default_factory=CacheStats)
+    metrics: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
+        self._ops: Optional[CounterFamily] = None
+        if self.metrics is not None:
+            self._ops = self.metrics.counter(
+                "repro_cache_ops_total",
+                "Result-cache events by kind (hits are tier-qualified).",
+                labels=("event",),
+            )
         if self.directory is not None:
             # expanduser so the documented ResultCache(directory="~/.cache/...")
             # reaches the home cache instead of creating a literal "~" dir
@@ -243,6 +252,11 @@ class ResultCache:
         #: capped put() does not rescan the whole store; ``None`` = not yet
         #: measured (first capped write pays one full scan).
         self._disk_total: Optional[int] = None
+
+    def _count(self, event: str) -> None:
+        """Mirror a CacheStats increment into the metrics registry."""
+        if self._ops is not None:
+            self._ops.inc(event=event)
 
     # ------------------------------------------------------------------ #
     # lookup
@@ -260,20 +274,24 @@ class ResultCache:
         if cached is not None:
             self._memory.move_to_end(digest)
             self.stats.hits += 1
+            self._count("hit_memory")
             return cached
         if self.directory is not None:
             cached = self._read_disk(problem, digest)
             if cached is not None:
                 self._remember(digest, cached)
                 self.stats.hits += 1
+                self._count("hit_disk")
                 return cached
         self.stats.misses += 1
+        self._count("miss")
         return None
 
     def put(self, digest: str, result: SolveResult) -> None:
         """Store a result under its digest (memory always, disk if configured)."""
         self._remember(digest, result)
         self.stats.stores += 1
+        self._count("store")
         if self.directory is None:
             return
         try:
@@ -311,6 +329,7 @@ class ResultCache:
                     self._prune_disk(int(self.max_disk_bytes))
         except (OSError, pickle.PicklingError):
             self.stats.io_errors += 1  # a cache that cannot write is still a cache
+            self._count("io_error")
 
     def clear(self) -> None:
         """Drop every memory entry and delete every disk entry."""
@@ -328,6 +347,7 @@ class ResultCache:
                         entry.unlink()
                     except OSError:
                         self.stats.io_errors += 1
+                        self._count("io_error")
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -400,15 +420,18 @@ class ResultCache:
             try:
                 path.unlink()
                 self.stats.evicted += 1
+                self._count("evicted")
                 total -= size
             except FileNotFoundError:
                 total -= size  # a peer pruned it first; same outcome
             except OSError:
                 self.stats.io_errors += 1
+                self._count("io_error")
         self._disk_total = total
 
     def _discard_corrupt(self, path: Path) -> None:
         self.stats.corrupt += 1
+        self._count("corrupt")
         try:
             if self._disk_total is not None:
                 try:
@@ -420,6 +443,7 @@ class ResultCache:
             pass  # a peer process already dropped it; nothing left to discard
         except OSError:
             self.stats.io_errors += 1
+            self._count("io_error")
 
     def _encode_entry(self, digest: str, result: SolveResult) -> dict:
         """The v3 on-disk document: schedule as packed IR columns, not Moves."""

@@ -48,12 +48,13 @@ from dataclasses import replace
 from typing import List, Optional, Tuple
 
 from ..core.exceptions import SolverError
+from ..obs.tracing import get_tracer
 from ..solvers.anytime import last_refinement_trajectory, refine_schedule
 from ..solvers.exhaustive import last_search_telemetry
 from .bounds import best_lower_bound
 from .problem import PebblingProblem
 from .registry import SolverInfo, get_solver, list_solvers
-from .result import Schedule, SolveResult, SolveStats
+from .result import Schedule, SolveAttempt, SolveResult, SolveStats
 
 __all__ = [
     "solve",
@@ -174,6 +175,39 @@ def _family_candidates(problem: PebblingProblem) -> List[SolverInfo]:
     ]
 
 
+def _finalize_auto(
+    result: SolveResult,
+    timings: List[List[object]],
+    started: float,
+) -> SolveResult:
+    """Stamp the total portfolio wall time and per-attempt breakdown.
+
+    ``timings`` entries are mutable ``[solver, wall_s, outcome]`` triples;
+    the entry whose solver produced the returned schedule is marked
+    ``"won"`` and surviving ``"candidate"`` entries become ``"lost"``.
+    """
+    won = False
+    for entry in timings:
+        if entry[2] == "candidate" and entry[0] == result.solver and not won:
+            entry[2] = "won"
+            won = True
+        elif entry[2] == "candidate":
+            entry[2] = "lost"
+    attempts = tuple(
+        SolveAttempt(solver=str(s), wall_time_s=float(w), outcome=str(o))
+        for s, w, o in timings
+    )
+    old = result.solve_stats
+    solve_stats = SolveStats(
+        wall_time_s=time.perf_counter() - started,
+        states_expanded=old.states_expanded if old is not None else None,
+        states_frontier_peak=old.states_frontier_peak if old is not None else None,
+        refinement=old.refinement if old is not None else None,
+        attempts=attempts,
+    )
+    return replace(result, solve_stats=solve_stats)
+
+
 def _auto(
     problem: PebblingProblem,
     budget: Optional[int],
@@ -181,40 +215,57 @@ def _auto(
     **options: object,
 ) -> SolveResult:
     attempts: List[Tuple[str, str]] = []
+    # [solver, wall_s, outcome] triples; "candidate" entries are resolved to
+    # won/lost once the portfolio settles on a schedule.
+    timings: List[List[object]] = []
+    started = time.perf_counter()
     bound = best_lower_bound(problem)
 
     # 1. exhaustive optimum on small instances
     if problem.n <= exact_node_limit:
         info = get_solver("exhaustive")
+        attempt_start = time.perf_counter()
         try:
             exact_budget = DEFAULT_AUTO_BUDGET if budget is None else budget
-            return _run(info, problem, bound, budget=exact_budget, **options)
+            result = _run(info, problem, bound, budget=exact_budget, **options)
+            timings.append(["exhaustive", time.perf_counter() - attempt_start, "candidate"])
+            return _finalize_auto(result, timings, started)
         except SolverError as exc:
             attempts.append(("exhaustive", str(exc)))
+            timings.append(["exhaustive", time.perf_counter() - attempt_start, "failed"])
     else:
         attempts.append(
             ("exhaustive", f"skipped: n = {problem.n} > exact_node_limit = {exact_node_limit}")
         )
+        timings.append(["exhaustive", 0.0, "skipped"])
 
     # 2. family-matched structured strategy
     structured_result: Optional[SolveResult] = None
     for info in _family_candidates(problem):
+        attempt_start = time.perf_counter()
         try:
             structured_result = _run(info, problem, bound, **options)
+            timings.append([info.name, time.perf_counter() - attempt_start, "candidate"])
             break
         except SolverError as exc:
             attempts.append((info.name, str(exc)))
+            timings.append([info.name, time.perf_counter() - attempt_start, "failed"])
     if structured_result is not None and (
         structured_result.optimal or problem.n > GREEDY_COMPARISON_NODE_LIMIT
     ):
-        return _apply_refinement(structured_result, **options)
+        return _finalize_auto(
+            _apply_refinement(structured_result, **options), timings, started
+        )
 
     # 3. greedy — the fallback, and the sanity comparison for a structured
     # strategy used away from its critical capacity regime
+    attempt_start = time.perf_counter()
     try:
         greedy_result = _run(get_solver("greedy"), problem, bound, **options)
+        timings.append(["greedy", time.perf_counter() - attempt_start, "candidate"])
     except SolverError as exc:
         attempts.append(("greedy", str(exc)))
+        timings.append(["greedy", time.perf_counter() - attempt_start, "failed"])
         greedy_result = None
 
     # 4. whichever heuristic schedule won gets the anytime improvement pass
@@ -224,11 +275,15 @@ def _auto(
             if structured_result.cost <= greedy_result.cost
             else greedy_result
         )
-        return _apply_refinement(chosen, **options)
+        return _finalize_auto(_apply_refinement(chosen, **options), timings, started)
     if structured_result is not None:
-        return _apply_refinement(structured_result, **options)
+        return _finalize_auto(
+            _apply_refinement(structured_result, **options), timings, started
+        )
     if greedy_result is not None:
-        return _apply_refinement(greedy_result, **options)
+        return _finalize_auto(
+            _apply_refinement(greedy_result, **options), timings, started
+        )
 
     detail = "; ".join(f"{name}: {reason}" for name, reason in attempts)
     raise SolverError(f"no solver could handle {problem.describe()} — {detail}")
@@ -288,6 +343,34 @@ def solve(
         family, ``r`` below the solver's minimum), or if every portfolio
         member fails.
     """
+    tracer = get_tracer()
+    with tracer.span(
+        "solve",
+        attrs={"solver": solver, "game": problem.game, "n": problem.n},
+    ) as span:
+        result = _solve_dispatch(
+            problem,
+            solver=solver,
+            budget=budget,
+            seed=seed,
+            exact_node_limit=exact_node_limit,
+            **options,
+        )
+        span.set_attr("solver_used", result.solver)
+        span.set_attr("cost", result.cost)
+        ctx = span.context
+    _record_solve_telemetry(problem, solver, options, result, ctx.trace_id)
+    return result
+
+
+def _solve_dispatch(
+    problem: PebblingProblem,
+    solver: str,
+    budget: Optional[int],
+    seed: Optional[int],
+    exact_node_limit: int,
+    **options: object,
+) -> SolveResult:
     if seed is not None:
         options = {**options, "seed": seed}
     if solver == "auto":
@@ -315,3 +398,63 @@ def solve(
     if budget is not None:
         options = {**options, "budget": budget}
     return _run(info, problem, best_lower_bound(problem), **options)
+
+
+#: Count of telemetry-recording failures (a diagnostic, not an error path:
+#: recording must never take down a successful solve).
+_telemetry_failures = 0
+
+#: Option value types that are recorded verbatim in telemetry.
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def _record_solve_telemetry(
+    problem: PebblingProblem,
+    solver_requested: str,
+    options: dict,
+    result: SolveResult,
+    trace_id: Optional[str],
+) -> None:
+    """Append one :class:`~repro.obs.telemetry.SolveTelemetry` record.
+
+    This is the data ROADMAP item 5 (telemetry-driven portfolio) trains
+    on: instance digest + features, requested/used solver, scalar options,
+    cost, bound gap, wall time, states expanded, per-attempt portfolio
+    timings.  Failures are counted, never raised.
+    """
+    global _telemetry_failures
+    try:
+        # Lazy imports: corpus.features pulls in repro.corpus, whose package
+        # __init__ imports api.batch — a module-level import here would cycle.
+        from ..corpus.features import extract_features
+        from ..obs.telemetry import SolveTelemetry, get_telemetry_log
+        from .cache import problem_digest
+
+        stats = result.solve_stats
+        attempts = [
+            {"solver": a.solver, "wall_time_s": a.wall_time_s, "outcome": a.outcome}
+            for a in (getattr(stats, "attempts", ()) or ())
+        ]
+        get_telemetry_log().record(
+            SolveTelemetry(
+                digest=problem_digest(problem),
+                solver_requested=solver_requested,
+                solver_used=result.solver,
+                cost=result.cost,
+                lower_bound=result.lower_bound,
+                gap=result.gap,
+                wall_time_s=stats.wall_time_s if stats is not None else 0.0,
+                states_expanded=stats.states_expanded if stats is not None else None,
+                options={
+                    key: value
+                    for key, value in options.items()
+                    if isinstance(value, _SCALAR_TYPES)
+                },
+                features=extract_features(problem).as_dict(),
+                attempts=attempts,
+                trace_id=trace_id,
+                ts=time.time(),
+            )
+        )
+    except Exception:  # noqa: BLE001 - telemetry must never break a solve
+        _telemetry_failures += 1

@@ -9,17 +9,38 @@ flags derived from the two.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 from ..core.exceptions import PebblingError
 from ..core.strategy import PRBPSchedule, RBPSchedule, ScheduleStats
 from ..solvers.anytime import RefinementTrajectory
 from .problem import PebblingProblem
 
-__all__ = ["SolveResult", "SolveStats", "Schedule"]
+__all__ = ["SolveResult", "SolveStats", "SolveAttempt", "Schedule"]
 
 #: Either game's schedule type.
 Schedule = Union[RBPSchedule, PRBPSchedule]
+
+
+@dataclass(frozen=True)
+class SolveAttempt:
+    """One portfolio member's run inside a ``solver="auto"`` solve.
+
+    Attributes
+    ----------
+    solver:
+        Registry name of the attempted solver.
+    wall_time_s:
+        Wall-clock seconds the attempt consumed (0.0 for skipped members).
+    outcome:
+        ``"won"`` (its schedule was returned), ``"lost"`` (produced a
+        schedule that a cheaper candidate beat), ``"failed"`` (raised),
+        or ``"skipped"`` (not run, e.g. instance too large for search).
+    """
+
+    solver: str
+    wall_time_s: float
+    outcome: str
 
 
 @dataclass(frozen=True)
@@ -29,10 +50,11 @@ class SolveStats:
     Attributes
     ----------
     wall_time_s:
-        Wall-clock seconds spent inside the winning solver, including the
-        validation replay of its schedule.  For ``solver="auto"`` this covers
-        only the portfolio member whose schedule was returned, not the
-        attempts that failed before it.
+        Wall-clock seconds spent producing the result, including the
+        validation replay of its schedule.  For ``solver="auto"`` this is
+        the *total* portfolio wall time — failed and losing attempts
+        included — so telemetry attributes the true cost of an auto
+        solve; the per-member split is in :attr:`attempts`.
     states_expanded:
         Number of configurations the exhaustive A* search expanded, when the
         winning solver was the exhaustive one; ``None`` for solvers that do
@@ -44,12 +66,18 @@ class SolveStats:
         steps, time-to-best) when the result went through the refinement
         engine — either the ``"anytime"`` solver or the auto portfolio's
         final improvement pass; ``None`` otherwise.
+    attempts:
+        Per-member timing breakdown of the auto portfolio (see
+        :class:`SolveAttempt`); empty for direct solver calls.  Read with
+        ``getattr(stats, "attempts", ())`` when the stats object may come
+        from a cache entry pickled by an older version.
     """
 
     wall_time_s: float
     states_expanded: Optional[int] = None
     states_frontier_peak: Optional[int] = None
     refinement: Optional[RefinementTrajectory] = None
+    attempts: Tuple[SolveAttempt, ...] = ()
 
 
 @dataclass(frozen=True)

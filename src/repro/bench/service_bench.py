@@ -38,6 +38,10 @@ then carries the router's shard/cache/failover counters.  The SLO document
 (p50/p99/p99.9 latency, goodput, shed rate, exact outcome accounting) can
 be gated against a committed baseline with ``--compare`` (exit 2 on
 regression), which is what CI does with ``benchmarks/SERVICE_BASELINE.json``.
+For in-process topologies the report also carries an ``attribution``
+section splitting server-side time into queue wait vs. solve execution
+(merged from every backend's metrics registry), so a latency regression
+can be blamed on admission backlog or on the solves themselves.
 """
 
 from __future__ import annotations
@@ -465,6 +469,36 @@ async def _run_open_loop(
     return samples, wall_s
 
 
+def _merged_histogram(
+    snapshots: Sequence[Dict[str, Any]], name: str
+) -> Optional[Dict[str, float]]:
+    """Bucket-exact merge of one histogram family across backend registries.
+
+    Every node uses the same default bucket layout; a series with a
+    different layout is skipped rather than mis-merged.
+    """
+    from ..obs.metrics import iter_histogram_series, summarise_buckets
+
+    bounds: Optional[Tuple[float, ...]] = None
+    counts: List[int] = []
+    total_sum = 0.0
+    for snapshot in snapshots:
+        for series in iter_histogram_series(snapshot, name):
+            series_bounds = tuple(float(b) for b, _ in series["buckets"][:-1])
+            series_counts = [int(c) for _, c in series["buckets"]]
+            if bounds is None:
+                bounds = series_bounds
+                counts = [0] * len(series_counts)
+            elif series_bounds != bounds:
+                continue
+            for i, c in enumerate(series_counts):
+                counts[i] += c
+            total_sum += float(series["sum"])
+    if bounds is None or sum(counts) == 0:
+        return None
+    return summarise_buckets(bounds, counts, total_sum)
+
+
 def _summarise_open_loop(
     samples: List[OpenLoopSample],
     wall_s: float,
@@ -474,6 +508,7 @@ def _summarise_open_loop(
     workload_labels: Sequence[str],
     cluster: Dict[str, Any],
     router_stats: Optional[Dict[str, Any]],
+    attribution: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     ok = [sample for sample in samples if sample.outcome == "ok"]
     shed = [sample for sample in samples if sample.outcome == "shed"]
@@ -511,6 +546,8 @@ def _summarise_open_loop(
         "by_code": by_code,
         "env": environment_metadata(),
     }
+    if attribution is not None:
+        doc["attribution"] = attribution
     if router_stats is not None:
         doc["router"] = {
             "routing": router_stats["routing"],
@@ -582,12 +619,22 @@ async def _open_loop_session(
             client_id=f"bench-{seed}",
         )
         router_stats = router.stats() if router is not None else None
+        backend_snapshots = [service.metrics.snapshot() for service in backends]
     finally:
         if router is not None:
             await router.shutdown()
         for service in backends:
             await service.shutdown(drain=False)
 
+    attribution: Optional[Dict[str, Any]] = None
+    if backend_snapshots:
+        attribution = {
+            "queue_wait_s": _merged_histogram(backend_snapshots, "repro_queue_wait_seconds"),
+            "solve_s": _merged_histogram(backend_snapshots, "repro_solve_seconds"),
+            "request_s": _merged_histogram(
+                backend_snapshots, "repro_request_latency_seconds"
+            ),
+        }
     return _summarise_open_loop(
         samples,
         wall_s,
@@ -597,6 +644,7 @@ async def _open_loop_session(
         [label for label, _, _, _ in workload],
         cluster_doc,
         router_stats,
+        attribution,
     )
 
 
@@ -703,6 +751,21 @@ def _print_slo_report(doc: Dict[str, Any]) -> None:
     )
     if doc.get("by_code"):
         print(f"  by code: {doc['by_code']}")
+    if doc.get("attribution"):
+        parts = []
+        for key, label in (
+            ("queue_wait_s", "queue wait"),
+            ("solve_s", "solve"),
+            ("request_s", "request"),
+        ):
+            entry = doc["attribution"].get(key)
+            if entry:
+                parts.append(
+                    f"{label} p50 {entry['p50'] * 1000:.2f} ms / "
+                    f"p99 {entry['p99'] * 1000:.2f} ms (n={int(entry['count'])})"
+                )
+        if parts:
+            print("  attribution: " + "; ".join(parts))
     if "router" in doc:
         routing = doc["router"]["routing"]
         print(

@@ -7,7 +7,10 @@ Subcommands:
   can scrape the ephemeral port when started with ``--port 0``.
 * ``solve`` — pose one benchmark-registry scenario to a running server;
   ``--stream`` prints the anytime-progress events as they arrive.
-* ``ping`` / ``stats`` / ``shutdown`` — client one-liners for operations.
+* ``ping`` / ``stats`` / ``shutdown`` — client one-liners for operations;
+  ``stats --watch N`` polls repeatedly.
+* ``metrics`` — print a server's Prometheus-style text exposition (or
+  the JSON snapshot with ``--json``).
 * ``smoke`` — self-contained end-to-end check (used by CI): starts an
   in-process server on an ephemeral port, solves scenarios through the TCP
   client, verifies the answers are bit-identical to local ``solve()``
@@ -34,6 +37,7 @@ import json
 import signal
 import sys
 import tempfile
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..api import PebblingProblem, solve
@@ -84,6 +88,11 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="solve in threads instead of worker processes",
     )
+    serve.add_argument(
+        "--trace-file",
+        metavar="PATH",
+        help="append finished trace spans to PATH as JSON lines",
+    )
 
     for name, help_text in (
         ("ping", "round-trip liveness check"),
@@ -97,6 +106,30 @@ def _build_parser() -> argparse.ArgumentParser:
             cmd.add_argument(
                 "--no-drain", action="store_true", help="abort queued jobs instead of finishing them"
             )
+        if name == "stats":
+            cmd.add_argument(
+                "--watch",
+                type=float,
+                default=None,
+                metavar="SECONDS",
+                help="poll repeatedly every SECONDS until interrupted",
+            )
+            cmd.add_argument(
+                "--watch-count",
+                type=int,
+                default=None,
+                metavar="N",
+                help="with --watch: stop after N snapshots",
+            )
+
+    metrics_cmd = sub.add_parser(
+        "metrics", help="print a server's metrics as Prometheus-style text"
+    )
+    metrics_cmd.add_argument("--host", default="127.0.0.1")
+    metrics_cmd.add_argument("--port", type=int, default=7421)
+    metrics_cmd.add_argument(
+        "--json", action="store_true", help="print the JSON snapshot instead of text"
+    )
 
     solve_cmd = sub.add_parser("solve", help="solve one bench-registry scenario remotely")
     solve_cmd.add_argument("--host", default="127.0.0.1")
@@ -148,6 +181,11 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip peer cache probes (primary answers or recomputes)",
     )
+    route.add_argument(
+        "--trace-file",
+        metavar="PATH",
+        help="append finished trace spans to PATH as JSON lines",
+    )
 
     cluster = sub.add_parser(
         "cluster-smoke", help="self-contained router+backends cluster check (CI)"
@@ -174,6 +212,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=None if args.no_disk_cache else args.cache_dir,
         max_disk_bytes=args.max_disk_bytes,
         prefer_processes=not args.no_processes,
+        trace_file=args.trace_file,
     )
 
     async def run() -> None:
@@ -213,7 +252,32 @@ def _cmd_ping(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     async def run() -> int:
         async with await ServiceClient.connect(args.host, args.port) as client:
-            print(json.dumps(await client.stats(), indent=2, sort_keys=True))
+            if args.watch is None:
+                print(json.dumps(await client.stats(), indent=2, sort_keys=True))
+                return 0
+            polls = 0
+            while True:
+                print(json.dumps(await client.stats(), indent=2, sort_keys=True), flush=True)
+                polls += 1
+                if args.watch_count is not None and polls >= args.watch_count:
+                    return 0
+                await asyncio.sleep(max(0.0, args.watch))
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    async def run() -> int:
+        async with await ServiceClient.connect(args.host, args.port) as client:
+            doc = await client.metrics()
+        if args.json:
+            print(json.dumps(doc["snapshot"], indent=2, sort_keys=True))
+        else:
+            print(doc["exposition"], end="")
         return 0
 
     return asyncio.run(run())
@@ -376,6 +440,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
         rate_limit_per_s=args.rate_limit,
         rate_limit_burst=args.burst,
         peer_probe=not args.no_peer_probe,
+        trace_file=args.trace_file,
     )
 
     async def run() -> None:
@@ -429,6 +494,13 @@ async def _cluster_smoke(backends_n: int, workers: int, prefer_processes: bool) 
         # one *separate* cache dir per backend: peer fetch must cross the
         # network through the cache_only probe, not leak through a shared disk
         backends: List[SolveService] = []
+        # ONE trace sink shared by the router and every backend: the whole
+        # point of cross-node tracing is that spans from different nodes
+        # stitch into one trace, which check 5 below asserts.
+        trace_dir = stack.enter_context(
+            tempfile.TemporaryDirectory(prefix="repro-cluster-trace-")
+        )
+        trace_path = Path(trace_dir) / "spans.jsonl"
         for _ in range(backends_n):
             cache_dir = stack.enter_context(
                 tempfile.TemporaryDirectory(prefix="repro-cluster-smoke-")
@@ -439,13 +511,21 @@ async def _cluster_smoke(backends_n: int, workers: int, prefer_processes: bool) 
                     workers=workers,
                     cache_dir=cache_dir,
                     prefer_processes=prefer_processes,
+                    trace_file=trace_path,
                 )
             )
             await service.start()
             backends.append(service)
         specs = tuple(BackendSpec(*service.address) for service in backends)
         by_name = {spec.name: service for spec, service in zip(specs, backends)}
-        router = SolveRouter(RouterConfig(backends=specs, failure_threshold=1, cooldown_s=30.0))
+        router = SolveRouter(
+            RouterConfig(
+                backends=specs,
+                failure_threshold=1,
+                cooldown_s=30.0,
+                trace_file=trace_path,
+            )
+        )
         await router.start()
         host, port = router.address
         ring = HashRing(tuple(spec.name for spec in specs))
@@ -540,7 +620,61 @@ async def _cluster_smoke(backends_n: int, workers: int, prefer_processes: bool) 
                 failures,
             )
 
-        # 5. rate limiting: a second router with a one-token bucket sheds the
+            # 5. observability: the metrics op serves parseable exposition on
+            #    both tiers, and the shared trace sink holds at least one
+            #    trace whose spans cover the router's routing decision, the
+            #    backend's queue wait and the solver execution
+            from ..obs.metrics import parse_exposition
+
+            families = parse_exposition((await client.metrics())["exposition"])
+            _check(
+                "repro_router_requests_total" in families
+                and "repro_router_tier_seconds" in families,
+                "router metrics exposition parses (request + tier series present)",
+                failures,
+            )
+            survivor = next(b for b in backends if b is not victim)
+            async with await ServiceClient.connect(*survivor.address) as direct:
+                backend_families = parse_exposition((await direct.metrics())["exposition"])
+            _check(
+                "repro_request_latency_seconds" in backend_families
+                and "repro_cache_ops_total" in backend_families
+                and "repro_queue_depth" in backend_families,
+                "backend metrics expose latency histogram, cache counters, queue gauge",
+                failures,
+            )
+
+            trace_names: Dict[str, set] = {}
+            trace_nodes: Dict[str, set] = {}
+            for line in trace_path.read_text(encoding="utf-8").splitlines():
+                try:
+                    span = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                trace_names.setdefault(span["trace_id"], set()).add(span["name"])
+                trace_nodes.setdefault(span["trace_id"], set()).add(span["node"])
+            stitched = [
+                tid
+                for tid, names in trace_names.items()
+                if {"router.route", "queue_wait", "solve_exec"} <= names
+            ]
+            _check(
+                bool(stitched),
+                f"{len(stitched)} trace(s) cover routing decision, queue wait "
+                "and solver execution under one trace id",
+                failures,
+            )
+            _check(
+                any(
+                    any(node.startswith("router:") for node in trace_nodes[tid])
+                    and any(node.startswith("service:") for node in trace_nodes[tid])
+                    for tid in stitched
+                ),
+                "a stitched trace crosses the router and a backend node",
+                failures,
+            )
+
+        # 6. rate limiting: a second router with a one-token bucket sheds the
         #    second request with a typed error (counted, not dropped)
         limited = SolveRouter(
             RouterConfig(
@@ -595,6 +729,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "ping": _cmd_ping,
         "stats": _cmd_stats,
+        "metrics": _cmd_metrics,
         "shutdown": _cmd_shutdown,
         "solve": _cmd_solve,
         "smoke": _cmd_smoke,

@@ -30,6 +30,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..api.problem import PebblingProblem
 from ..api.result import SolveResult
+from ..obs.tracing import current_trace
 from . import protocol
 from .protocol import ProtocolError, read_frame, write_frame
 
@@ -148,6 +149,18 @@ class ServiceClient:
         stats = doc.get("stats")
         return dict(stats) if isinstance(stats, dict) else {}
 
+    async def metrics(self) -> Dict[str, Any]:
+        """The server's metrics (protocol v4): text exposition + JSON snapshot.
+
+        Returns ``{"exposition": <Prometheus-style text>, "snapshot": <dict>}``.
+        """
+        doc = self._expect(await self._roundtrip("metrics"), "metrics")
+        snapshot = doc.get("snapshot")
+        return {
+            "exposition": str(doc.get("exposition", "")),
+            "snapshot": dict(snapshot) if isinstance(snapshot, dict) else {},
+        }
+
     async def shutdown_server(self, drain: bool = True) -> None:
         """Ask the server to shut down (gracefully draining by default)."""
         self._expect(await self._roundtrip("shutdown", drain=drain), "ok")
@@ -192,6 +205,11 @@ class ServiceClient:
         fields: Dict[str, object] = {}
         if client_id is not None:
             fields["client_id"] = client_id
+        # Propagate the caller's ambient trace context (if any) so the
+        # server's spans parent under it; v3 peers ignore the field.
+        ambient = current_trace()
+        if ambient is not None:
+            fields["trace"] = ambient.to_wire()
         doc = self._expect(
             await self._roundtrip(
                 "solve",
@@ -280,6 +298,11 @@ class ServiceClient:
                 deadline_s=deadline_s,
                 stream=True,
                 wait=True,
+                **(
+                    {"trace": current_trace().to_wire()}
+                    if current_trace() is not None
+                    else {}
+                ),
             ),
         )
         events: List[ProgressEvent] = []

@@ -9,9 +9,14 @@ knows where the next message starts) while staying trivially debuggable:
 Versioning
 ----------
 Each message carries ``"v": PROTOCOL_VERSION``.  A server refuses requests
-from a different version with a ``protocol`` error instead of guessing; the
-version is bumped whenever the frame layout or a message schema changes
-incompatibly.
+whose version is outside :data:`SUPPORTED_PROTOCOL_VERSIONS` with a
+``protocol`` error instead of guessing; the version is bumped whenever the
+frame layout or a message schema changes incompatibly.  v4 is a strict
+superset of v3 — every new field is optional and every new op degrades to a
+typed error on a v3 server — so v3 requests are still accepted and validators
+ignore unknown fields (which is how a v3 server already treated a v4
+``trace`` field).  Response frames stamp the server's own version; clients
+do not gate on it.
 
 Problem and result serialization
 --------------------------------
@@ -53,11 +58,12 @@ from ..core.schedule_ir import (
 from ..core.strategy import ScheduleStats
 from ..core.variants import GameVariant
 from ..api.problem import GAMES, PebblingProblem
-from ..api.result import Schedule, SolveResult, SolveStats
+from ..api.result import Schedule, SolveAttempt, SolveResult, SolveStats
 from ..solvers.anytime import RefinementTrajectory
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOL_VERSIONS",
     "MAX_FRAME_BYTES",
     "REQUEST_OPS",
     "RESPONSE_OPS",
@@ -84,7 +90,18 @@ __all__ = [
 #: ``client_id`` (rate-limit identity, consumed by the front router);
 #: responses may carry ``backend`` (which node served a routed request);
 #: router-origin error codes added.
-PROTOCOL_VERSION = 3
+#: v4: observability.  ``solve`` requests may carry an optional ``trace``
+#: object (``{"trace_id", "span_id"}``) propagating a distributed-trace
+#: context; solve ``result``/``error`` responses may echo a ``trace_id``;
+#: a new ``metrics`` op returns the node's metrics registry (text
+#: exposition and/or JSON snapshot); ``solve_stats`` gains ``attempts``
+#: (per-member portfolio timings).  All additions are optional, so v3
+#: frames remain valid and v3 servers ignore the trace field.
+PROTOCOL_VERSION = 4
+
+#: Request versions this build accepts.  v3 requests lack the optional
+#: observability fields but are otherwise identical.
+SUPPORTED_PROTOCOL_VERSIONS = frozenset({3, 4})
 
 #: Upper bound on a single frame's payload.  Large enough for the move list
 #: of a multi-thousand-node schedule, small enough that a garbage length
@@ -94,11 +111,11 @@ MAX_FRAME_BYTES = 32 * 1024 * 1024
 _HEADER = struct.Struct(">I")
 
 #: Operations a client may send.
-REQUEST_OPS = frozenset({"ping", "solve", "poll", "stats", "shutdown"})
+REQUEST_OPS = frozenset({"ping", "solve", "poll", "stats", "metrics", "shutdown"})
 
 #: Operations a server may answer with.
 RESPONSE_OPS = frozenset(
-    {"pong", "result", "accepted", "status", "progress", "stats", "ok", "error"}
+    {"pong", "result", "accepted", "status", "progress", "stats", "metrics", "ok", "error"}
 )
 
 #: Machine-readable failure classes carried by ``error`` responses.
@@ -231,8 +248,9 @@ def validate_request(doc: Mapping[str, object]) -> Dict[str, object]:
     """
     version = doc.get("v")
     _require(
-        version == PROTOCOL_VERSION,
-        f"unsupported protocol version {version!r} (this server speaks {PROTOCOL_VERSION})",
+        version in SUPPORTED_PROTOCOL_VERSIONS,
+        f"unsupported protocol version {version!r} (this server speaks "
+        f"{sorted(SUPPORTED_PROTOCOL_VERSIONS)})",
     )
     op = doc.get("op")
     _require(isinstance(op, str) and op in REQUEST_OPS, f"unknown request op {op!r}")
@@ -284,6 +302,17 @@ def validate_request(doc: Mapping[str, object]) -> Dict[str, object]:
                 and deadline_s > 0,
                 "'deadline_s' must be a positive number of seconds",
             )
+        trace = doc.get("trace")
+        if trace is not None:
+            # v4 — optional distributed-trace context.  Malformed contexts
+            # are a schema error; absence (the v3 case) is fine.
+            _require(isinstance(trace, dict), "'trace' must be an object or absent")
+            for field in ("trace_id", "span_id"):
+                value = trace.get(field)  # type: ignore[union-attr]
+                _require(
+                    isinstance(value, str) and 0 < len(value) <= 64,
+                    f"'trace.{field}' must be a non-empty string of at most 64 chars",
+                )
     elif op == "poll":
         job_id = doc.get("job_id")
         _require(isinstance(job_id, str) and bool(job_id), "'poll' requires a 'job_id' string")
@@ -566,8 +595,39 @@ def result_to_wire(result: SolveResult) -> Dict[str, object]:
             "states_expanded": stats.states_expanded,
             "states_frontier_peak": stats.states_frontier_peak,
             "refinement": _trajectory_to_wire(stats.refinement),
+            # v4 — getattr so stats objects unpickled from pre-v4 cache
+            # entries still serialize.
+            "attempts": [
+                {"solver": a.solver, "wall_time_s": a.wall_time_s, "outcome": a.outcome}
+                for a in (getattr(stats, "attempts", ()) or ())
+            ],
         },
     }
+
+
+def _attempts_from_wire(doc: object) -> Tuple[SolveAttempt, ...]:
+    """Decode the v4 ``attempts`` list; absent (v3) decodes to empty."""
+    if doc is None:
+        return ()
+    _require(isinstance(doc, list), "solve_stats 'attempts' must be a list")
+    assert isinstance(doc, list)
+    attempts = []
+    for entry in doc:
+        _require(isinstance(entry, dict), "each solve attempt must be an object")
+        solver = entry.get("solver")
+        outcome = entry.get("outcome")
+        wall = entry.get("wall_time_s")
+        _require(
+            isinstance(solver, str)
+            and isinstance(outcome, str)
+            and isinstance(wall, (int, float))
+            and not isinstance(wall, bool),
+            "solve attempt fields: 'solver' str, 'outcome' str, 'wall_time_s' number",
+        )
+        attempts.append(
+            SolveAttempt(solver=str(solver), wall_time_s=float(wall), outcome=str(outcome))
+        )
+    return tuple(attempts)
 
 
 def result_from_wire(problem: PebblingProblem, doc: Mapping[str, object]) -> SolveResult:
@@ -616,6 +676,7 @@ def result_from_wire(problem: PebblingProblem, doc: Mapping[str, object]) -> Sol
                 if stats_doc.get("states_frontier_peak") is None
                 else int(stats_doc["states_frontier_peak"]),  # type: ignore[arg-type]
                 refinement=_trajectory_from_wire(stats_doc.get("refinement")),
+                attempts=_attempts_from_wire(stats_doc.get("attempts")),
             )
         except (TypeError, ValueError) as exc:
             raise ProtocolError(f"invalid solve_stats: {exc}") from exc

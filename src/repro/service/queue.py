@@ -41,6 +41,8 @@ from enum import Enum
 from typing import Any, Callable, Deque, Dict, List, Optional
 
 from ..api.problem import PebblingProblem
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import TraceContext
 
 __all__ = [
     "AdmissionQueue",
@@ -112,6 +114,9 @@ class ServiceJob:
     finished_at: Optional[float] = None
     #: How many requests beyond the first were answered by this same job.
     shared: int = 0
+    #: Trace context of the request span that admitted this job; spans
+    #: emitted while it waits and runs (queue wait, solve) parent here.
+    trace: Optional[TraceContext] = None
     future: "asyncio.Future[Any]" = field(
         default_factory=lambda: asyncio.get_running_loop().create_future()
     )
@@ -146,7 +151,11 @@ class ServiceJob:
 class AdmissionQueue:
     """Bounded, priority-ordered, deadline-aware queue of pending jobs."""
 
-    def __init__(self, max_pending: int = 256) -> None:
+    def __init__(
+        self,
+        max_pending: int = 256,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.max_pending = max_pending
@@ -156,6 +165,21 @@ class AdmissionQueue:
         self._waiters: Deque["asyncio.Future[None]"] = deque()
         #: Jobs expired while waiting (observability counter).
         self.expired = 0
+        self._depth_gauge = None
+        self._wait_histogram = None
+        self._expired_counter = None
+        if metrics is not None:
+            self._depth_gauge = metrics.gauge(
+                "repro_queue_depth", "Jobs waiting in the admission queue."
+            )
+            self._wait_histogram = metrics.histogram(
+                "repro_queue_wait_seconds",
+                "Seconds a job waited between admission and worker pickup.",
+            )
+            self._expired_counter = metrics.counter(
+                "repro_queue_expired_total",
+                "Jobs whose deadline passed while they waited.",
+            )
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -182,6 +206,8 @@ class AdmissionQueue:
             raise QueueFull(f"admission queue is at capacity ({self.max_pending} pending jobs)")
         job.enqueued_at = asyncio.get_running_loop().time()
         heapq.heappush(self._heap, (-job.priority, next(self._seq), job))
+        if self._depth_gauge is not None:
+            self._depth_gauge.set(len(self._heap))
         self._wake(all_waiters=False)
 
     async def take(self) -> Optional[ServiceJob]:
@@ -194,8 +220,13 @@ class AdmissionQueue:
         while True:
             while self._heap:
                 _, _, job = heapq.heappop(self._heap)
+                if self._depth_gauge is not None:
+                    self._depth_gauge.set(len(self._heap))
                 if self._expire_if_late(job):
                     continue
+                if self._wait_histogram is not None:
+                    wait = asyncio.get_running_loop().time() - job.enqueued_at
+                    self._wait_histogram.observe(max(0.0, wait))
                 return job
             if self._closed:
                 return None
@@ -228,6 +259,8 @@ class AdmissionQueue:
                 )
             job.finish_stream()
             aborted += 1
+        if self._depth_gauge is not None:
+            self._depth_gauge.set(0)
         return aborted
 
     # ------------------------------------------------------------------ #
@@ -239,6 +272,8 @@ class AdmissionQueue:
             return False
         job.state = JobState.EXPIRED
         self.expired += 1
+        if self._expired_counter is not None:
+            self._expired_counter.inc()
         if not job.future.done():
             job.future.set_exception(
                 DeadlineExceeded(f"job {job.job_id} waited past its deadline and was never started")

@@ -60,10 +60,13 @@ import hashlib
 import time
 from bisect import bisect_left
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..api.cache import cacheable_options, problem_digest
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import TraceContext, Tracer
 from . import protocol
 from .protocol import ProtocolError, make_response, read_frame, write_frame
 from .queue import ClientRateLimiter
@@ -188,6 +191,9 @@ class RouterConfig:
     cooldown_s: float = 2.0
     #: Seconds to wait for in-flight relays to finish during shutdown.
     shutdown_grace_s: float = 5.0
+    #: JSONL span-sink path for this router's tracer; ``None`` keeps
+    #: finished spans in the in-memory ring only.
+    trace_file: Optional[Union[str, Path]] = None
 
 
 class _Backend:
@@ -245,30 +251,88 @@ class _ClientGone(Exception):
     """The *requesting* client vanished mid-relay — never a backend fault."""
 
 
-@dataclass
 class _RouterStats:
-    """Mutable counters of one router instance."""
+    """Router counters, backed by the metrics registry.
 
-    started_monotonic: float = field(default_factory=time.monotonic)
-    requests: Dict[str, int] = field(default_factory=dict)
-    connections_total: int = 0
-    protocol_errors: int = 0
-    routed: int = 0
-    hot_hits: int = 0
-    primary_probe_hits: int = 0
-    peer_fetch_hits: int = 0
-    dispatched: int = 0
-    completed: int = 0
-    failovers: int = 0
-    shed_rate_limited: int = 0
-    shed_overloaded: int = 0
-    relayed_errors: int = 0
-    relayed_queue_full: int = 0
-    no_backend: int = 0
-    streamed_events: int = 0
+    Like the server's ``_Stats``: ``stats()`` keeps its historical
+    (byte-compatible) dict shape by reading the registry back through the
+    properties below, and the very same series feed the ``metrics`` op's
+    text exposition, so the two views can never drift apart.
+    """
+
+    _ROUTING_EVENTS = (
+        "routed",
+        "hot_hits",
+        "primary_probe_hits",
+        "peer_fetch_hits",
+        "dispatched",
+        "completed",
+        "failovers",
+        "shed_rate_limited",
+        "shed_overloaded",
+        "relayed_errors",
+        "relayed_queue_full",
+        "no_backend",
+    )
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self.started_monotonic = time.monotonic()
+        self._requests = metrics.counter(
+            "repro_router_requests_total", "Requests received, by op.", labels=("op",)
+        )
+        self._events = metrics.counter(
+            "repro_router_events_total",
+            "Routing-path events by kind (tier hits, sheds, failovers).",
+            labels=("event",),
+        )
+        self._connections = metrics.counter(
+            "repro_router_connections_total", "Client connections accepted."
+        )
+        self._protocol_errors = metrics.counter(
+            "repro_router_protocol_errors_total",
+            "Frames refused as framing or schema errors.",
+        )
+        self._streamed = metrics.counter(
+            "repro_router_streamed_events_total",
+            "Progress frames relayed to streaming clients.",
+        )
 
     def count_request(self, op: str) -> None:
-        self.requests[op] = self.requests.get(op, 0) + 1
+        self._requests.inc(op=op)
+
+    def event(self, name: str) -> None:
+        self._events.inc(event=name)
+
+    def connection(self) -> None:
+        self._connections.inc()
+
+    def protocol_error(self) -> None:
+        self._protocol_errors.inc()
+
+    def streamed_event(self) -> None:
+        self._streamed.inc()
+
+    @property
+    def requests(self) -> Dict[str, int]:
+        return {key[0]: int(v) for key, v in self._requests.values().items()}
+
+    @property
+    def connections_total(self) -> int:
+        return int(self._connections.value())
+
+    @property
+    def protocol_errors(self) -> int:
+        return int(self._protocol_errors.value())
+
+    @property
+    def streamed_events(self) -> int:
+        return int(self._streamed.value())
+
+    def __getattr__(self, name: str) -> int:
+        # routed / hot_hits / failovers / ... read back from the registry.
+        if name in _RouterStats._ROUTING_EVENTS:
+            return int(self._events.value(event=name))
+        raise AttributeError(name)
 
 
 # --------------------------------------------------------------------------- #
@@ -303,7 +367,19 @@ class SolveRouter:
         )
         #: Tier-0 hot cache: digest -> (wire result doc, serving backend).
         self._hot: "OrderedDict[str, Tuple[Dict[str, Any], str]]" = OrderedDict()
-        self._stats = _RouterStats()
+        #: Per-instance registry: several routers/services in one process
+        #: (tests, cluster-smoke) must not merge their counters.
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(node="router", sink=config.trace_file)
+        self._stats = _RouterStats(self.metrics)
+        self._tier_hist = self.metrics.histogram(
+            "repro_router_tier_seconds",
+            "Wall seconds from admission to answer, by the tier that served it.",
+            labels=("tier",),
+        )
+        self._inflight_gauge = self.metrics.gauge(
+            "repro_router_inflight", "Solve requests currently being routed."
+        )
         self._inflight = 0
         self._server: Optional[asyncio.Server] = None
         self._connections: Set["asyncio.Task[None]"] = set()
@@ -323,6 +399,8 @@ class SolveRouter:
         self._server = await asyncio.start_server(
             self._on_connection, host=self.config.host, port=self.config.port
         )
+        host, port = self.address
+        self.tracer.node = f"router:{host}:{port}"
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -376,6 +454,7 @@ class SolveRouter:
             while backend.idle:
                 _, writer = backend.idle.pop()
                 writer.close()
+        self.tracer.close()
         if self._closed_event is not None:
             self._closed_event.set()
 
@@ -431,6 +510,8 @@ class SolveRouter:
             "backends": [backend.snapshot(now) for backend in self._backends.values()],
             "streamed_events": stats.streamed_events,
             "protocol_errors": stats.protocol_errors,
+            # Addition over the pre-v4 shape (existing keys stay byte-compatible).
+            "latency": self.metrics.histogram_summaries(),
         }
 
     # ------------------------------------------------------------------ #
@@ -443,7 +524,7 @@ class SolveRouter:
         task = asyncio.current_task()
         if task is not None:
             self._connections.add(task)
-        self._stats.connections_total += 1
+        self._stats.connection()
         try:
             await self._serve_connection(reader, writer)
         except asyncio.CancelledError:
@@ -464,7 +545,7 @@ class SolveRouter:
             try:
                 doc = await read_frame(reader)
             except ProtocolError as exc:
-                self._stats.protocol_errors += 1
+                self._stats.protocol_error()
                 await self._try_send_error(writer, None, "protocol", str(exc))
                 return
             if doc is None:
@@ -472,7 +553,7 @@ class SolveRouter:
             try:
                 request = protocol.validate_request(doc)
             except ProtocolError as exc:
-                self._stats.protocol_errors += 1
+                self._stats.protocol_error()
                 request_id = doc.get("id")
                 await self._try_send_error(
                     writer,
@@ -518,6 +599,16 @@ class SolveRouter:
             )
         elif op == "stats":
             await write_frame(writer, make_response("stats", request_id, stats=self.stats()))
+        elif op == "metrics":
+            await write_frame(
+                writer,
+                make_response(
+                    "metrics",
+                    request_id,
+                    exposition=self.metrics.exposition(),
+                    snapshot=self.metrics.snapshot(),
+                ),
+            )
         elif op == "shutdown":
             drain = bool(request.get("drain", True))
             await write_frame(writer, make_response("ok", request_id, draining=drain))
@@ -546,7 +637,7 @@ class SolveRouter:
             peer = writer.get_extra_info("peername")
             identity = f"peer:{peer[0]}" if isinstance(peer, tuple) and peer else "peer:unknown"
         if not self._limiter.allow(identity):
-            self._stats.shed_rate_limited += 1
+            self._stats.event("shed_rate_limited")
             await self._try_send_error(
                 writer,
                 request_id,
@@ -555,7 +646,7 @@ class SolveRouter:
             )
             return
         if self._inflight >= self.config.max_inflight:
-            self._stats.shed_overloaded += 1
+            self._stats.event("shed_overloaded")
             await self._try_send_error(
                 writer,
                 request_id,
@@ -577,21 +668,35 @@ class SolveRouter:
         digest = problem_digest(problem, solver=solver, options=options)
         cacheable = cacheable_options(options)
 
-        self._stats.routed += 1
+        self._stats.event("routed")
         self._inflight += 1
-        try:
-            await self._route_solve(
-                request,
-                request_id,
-                writer,
-                digest,
-                cacheable,
-                stream=bool(request.get("stream", False)),
-                wait=bool(request.get("wait", True)),
-                cache_only=bool(request.get("cache_only", False)),
-            )
-        finally:
-            self._inflight -= 1
+        self._inflight_gauge.set(float(self._inflight))
+        # The route span is the router's root for this request (or a child of
+        # the client's own span when the request carried a ``trace`` field);
+        # its context is stamped onto the forwarded request so probe and
+        # relay spans on the backends stitch into one cross-node trace.
+        with self.tracer.span(
+            "router.route",
+            parent=TraceContext.from_wire(request.get("trace")),
+            attrs={"solver": solver, "digest": digest},
+        ) as span:
+            forward = dict(request)
+            forward["trace"] = span.context.to_wire()
+            try:
+                await self._route_solve(
+                    forward,
+                    request_id,
+                    writer,
+                    digest,
+                    cacheable,
+                    stream=bool(request.get("stream", False)),
+                    wait=bool(request.get("wait", True)),
+                    cache_only=bool(request.get("cache_only", False)),
+                    span=span,
+                )
+            finally:
+                self._inflight -= 1
+                self._inflight_gauge.set(float(self._inflight))
 
     async def _route_solve(
         self,
@@ -604,13 +709,16 @@ class SolveRouter:
         stream: bool,
         wait: bool,
         cache_only: bool,
+        span: Optional[Any] = None,
     ) -> None:
+        started = time.perf_counter()
         # --- tier 0: the router's own hot LRU --------------------------- #
         if cacheable and wait:
             hot = self._hot_get(digest)
             if hot is not None:
                 doc, backend_name = hot
-                self._stats.hot_hits += 1
+                self._stats.event("hot_hits")
+                self._observe_tier("hot", started, span, backend_name)
                 await write_frame(
                     writer,
                     make_response(
@@ -646,9 +754,11 @@ class SolveRouter:
                 if doc is None:
                     continue  # cache-miss: try the next tier
                 if rank == 0:
-                    self._stats.primary_probe_hits += 1
+                    self._stats.event("primary_probe_hits")
+                    self._observe_tier("probe_primary", started, span, name)
                 else:
-                    self._stats.peer_fetch_hits += 1
+                    self._stats.event("peer_fetch_hits")
+                    self._observe_tier("probe_peer", started, span, name)
                 self._hot_put(digest, doc, name)
                 await write_frame(
                     writer,
@@ -677,7 +787,7 @@ class SolveRouter:
                 continue
             attempts += 1
             if attempts > 1:
-                self._stats.failovers += 1
+                self._stats.event("failovers")
             try:
                 await self._relay_solve(
                     backend, request, request_id, writer, digest, cacheable, stream
@@ -695,19 +805,32 @@ class SolveRouter:
                     # its shard simply spills to the next ring node
                     continue
                 if exc.code == "queue-full":
-                    self._stats.relayed_queue_full += 1
+                    self._stats.event("relayed_queue_full")
                 else:
-                    self._stats.relayed_errors += 1
+                    self._stats.event("relayed_errors")
                 await self._try_send_error(writer, request_id, exc.code, str(exc))
                 return
+            self._observe_tier(
+                "failover" if attempts > 1 else "dispatch", started, span, name
+            )
             return
-        self._stats.no_backend += 1
+        self._stats.event("no_backend")
         await self._try_send_error(
             writer,
             request_id,
             "no-backend",
             f"all {len(preference)} backend(s) for this digest are down or draining",
         )
+
+    def _observe_tier(
+        self, tier: str, started: float, span: Optional[Any], backend: Optional[str]
+    ) -> None:
+        """Record which tier answered and how long admission-to-answer took."""
+        self._tier_hist.observe(time.perf_counter() - started, tier=tier)
+        if span is not None:
+            span.set_attr("tier", tier)
+            if backend is not None:
+                span.set_attr("backend", backend)
 
     async def _relay_solve(
         self,
@@ -725,10 +848,10 @@ class SolveRouter:
         :class:`_RelayedError` on typed error frames (relayed, no failover).
         """
         backend.dispatched += 1
-        self._stats.dispatched += 1
+        self._stats.event("dispatched")
 
         async def forward_progress(doc: Dict[str, Any]) -> None:
-            self._stats.streamed_events += 1
+            self._stats.streamed_event()
             doc["backend"] = backend.name
             try:
                 await write_frame(writer, doc)
@@ -755,7 +878,7 @@ class SolveRouter:
         if op not in ("result", "accepted"):
             raise _BackendFailure(f"unexpected backend frame op {op!r}")
         self._mark_alive(backend)
-        self._stats.completed += 1
+        self._stats.event("completed")
         doc["backend"] = backend.name
         if op == "accepted" and isinstance(doc.get("job_id"), str):
             # Stamp the serving backend into the job id so a later poll on

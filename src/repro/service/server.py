@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import os
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -41,6 +42,8 @@ from typing import Any, Dict, Optional, Tuple, Union
 from ..api.cache import ResultCache, cacheable_options, problem_digest
 from ..api.result import SolveResult
 from ..core.exceptions import SolverError
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import TraceContext, Tracer
 from . import protocol
 from .protocol import ProtocolError, make_response, read_frame, write_frame
 from .queue import (
@@ -85,29 +88,90 @@ class ServiceConfig:
     retained_jobs: int = 1024
     #: Seconds to wait for in-flight responses to flush during shutdown.
     shutdown_grace_s: float = 5.0
+    #: JSONL sink for this node's spans; ``None`` keeps them in the ring
+    #: buffer only.  Worker processes inherit the path via the
+    #: ``REPRO_TRACE_FILE`` environment variable (set on first use if
+    #: unset), so solver-side spans land in the same file.
+    trace_file: Optional[Union[str, Path]] = None
 
 
 class _Stats:
-    """Mutable service counters (flattened into the ``stats`` response)."""
+    """Service counters, backed by the metrics registry.
 
-    def __init__(self) -> None:
+    The ``stats()`` response keeps its historical (byte-compatible) dict
+    shape by reading the registry back through the properties below; the
+    same series feed the ``metrics`` op's text exposition, so the two
+    views can never drift apart.
+    """
+
+    _JOB_EVENTS = (
+        "admitted",
+        "completed",
+        "failed",
+        "cache_answers",
+        "probe_hits",
+        "probe_misses",
+        "dedup_shared",
+        "rejected_full",
+        "rejected_closing",
+    )
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
         self.started_monotonic = time.monotonic()
-        self.requests: Dict[str, int] = {}
-        self.connections_total = 0
-        self.admitted = 0
-        self.completed = 0
-        self.failed = 0
-        self.cache_answers = 0
-        self.probe_hits = 0
-        self.probe_misses = 0
-        self.dedup_shared = 0
-        self.rejected_full = 0
-        self.rejected_closing = 0
-        self.protocol_errors = 0
-        self.streamed_events = 0
+        self._requests = metrics.counter(
+            "repro_requests_total", "Requests received, by op.", labels=("op",)
+        )
+        self._jobs = metrics.counter(
+            "repro_jobs_total", "Job lifecycle events, by kind.", labels=("event",)
+        )
+        self._connections = metrics.counter(
+            "repro_connections_total", "Client connections accepted."
+        )
+        self._protocol_errors = metrics.counter(
+            "repro_protocol_errors_total",
+            "Frames refused as framing or schema errors.",
+        )
+        self._streamed = metrics.counter(
+            "repro_streamed_events_total",
+            "Anytime-progress frames pushed to streaming clients.",
+        )
 
     def count_request(self, op: str) -> None:
-        self.requests[op] = self.requests.get(op, 0) + 1
+        self._requests.inc(op=op)
+
+    def job(self, event: str) -> None:
+        self._jobs.inc(event=event)
+
+    def connection(self) -> None:
+        self._connections.inc()
+
+    def protocol_error(self) -> None:
+        self._protocol_errors.inc()
+
+    def streamed_event(self) -> None:
+        self._streamed.inc()
+
+    @property
+    def requests(self) -> Dict[str, int]:
+        return {key[0]: int(v) for key, v in self._requests.values().items()}
+
+    @property
+    def connections_total(self) -> int:
+        return int(self._connections.value())
+
+    @property
+    def protocol_errors(self) -> int:
+        return int(self._protocol_errors.value())
+
+    @property
+    def streamed_events(self) -> int:
+        return int(self._streamed.value())
+
+    def __getattr__(self, name: str) -> int:
+        # admitted / completed / failed / ... read back from the registry.
+        if name in _Stats._JOB_EVENTS:
+            return int(self._jobs.value(event=name))
+        raise AttributeError(name)
 
 
 class SolveService:
@@ -129,6 +193,14 @@ class SolveService:
         cache: Optional[ResultCache] = None,
     ) -> None:
         self.config = config or ServiceConfig()
+        #: Per-instance registry: several services in one process (tests,
+        #: cluster-smoke) must not merge their counters.
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(node="service", sink=self.config.trace_file)
+        if self.config.trace_file is not None and not os.environ.get("REPRO_TRACE_FILE"):
+            # Worker processes read this at import; setting it before the
+            # pool forks lets solver-side spans reach the same sink.
+            os.environ["REPRO_TRACE_FILE"] = str(self.config.trace_file)
         if cache is not None:
             self.cache: Optional[ResultCache] = cache
         elif self.config.enable_cache:
@@ -137,14 +209,33 @@ class SolveService:
                 max_memory_entries=self.config.memory_cache_entries,
                 max_disk_bytes=self.config.max_disk_bytes,
                 validate=self.config.validate_cache,
+                metrics=self.metrics,
             )
         else:
             self.cache = None
-        self._queue = AdmissionQueue(max_pending=self.config.max_pending)
-        self._pool = WorkerPool(
-            max_workers=self.config.workers, prefer_processes=self.config.prefer_processes
+        self._queue = AdmissionQueue(
+            max_pending=self.config.max_pending, metrics=self.metrics
         )
-        self._stats = _Stats()
+        self._pool = WorkerPool(
+            max_workers=self.config.workers,
+            prefer_processes=self.config.prefer_processes,
+            metrics=self.metrics,
+        )
+        self._stats = _Stats(self.metrics)
+        self._request_hist = self.metrics.histogram(
+            "repro_request_latency_seconds",
+            "Wall seconds from dispatch of a request to its final frame.",
+            labels=("op",),
+        )
+        self._solve_hist = self.metrics.histogram(
+            "repro_solve_seconds",
+            "Wall seconds a job spent executing in the worker pool.",
+            labels=("solver",),
+        )
+        self._dedup_wait_hist = self.metrics.histogram(
+            "repro_dedup_wait_seconds",
+            "Wall seconds a deduplicated request waited on the shared job.",
+        )
         self._jobs: "OrderedDict[str, ServiceJob]" = OrderedDict()
         self._inflight: Dict[str, ServiceJob] = {}
         self._job_seq = itertools.count(1)
@@ -176,6 +267,8 @@ class SolveService:
         self._server = await asyncio.start_server(
             self._on_connection, host=self.config.host, port=self.config.port
         )
+        host, port = self.address
+        self.tracer.node = f"service:{host}:{port}"
         self._dispatchers = [
             asyncio.create_task(self._dispatch_loop(), name=f"repro-service-dispatch-{i}")
             for i in range(self.config.workers)
@@ -238,6 +331,7 @@ class SolveService:
         self._pool.shutdown()
         if self._cache_executor is not None:
             self._cache_executor.shutdown(wait=True)  # flush pending puts
+        self.tracer.close()
         if self._closed_event is not None:
             self._closed_event.set()
 
@@ -286,6 +380,10 @@ class SolveService:
             "cache": cache_doc,
             "streamed_events": self._stats.streamed_events,
             "protocol_errors": self._stats.protocol_errors,
+            # v4 — merged histogram summaries (count/sum/mean/p50/p90/p99
+            # per histogram family); an addition, so the pre-v4 keys above
+            # stay byte-compatible for service_bench --compare.
+            "latency": self.metrics.histogram_summaries(),
         }
 
     # ------------------------------------------------------------------ #
@@ -298,7 +396,7 @@ class SolveService:
         task = asyncio.current_task()
         if task is not None:
             self._connections.add(task)
-        self._stats.connections_total += 1
+        self._stats.connection()
         try:
             await self._serve_connection(reader, writer)
         except asyncio.CancelledError:
@@ -321,7 +419,7 @@ class SolveService:
             except ProtocolError as exc:
                 # After a framing error the byte stream cannot be trusted;
                 # tell the client why (best effort), then hang up.
-                self._stats.protocol_errors += 1
+                self._stats.protocol_error()
                 await self._try_send_error(writer, None, "protocol", str(exc))
                 return
             if doc is None:
@@ -331,7 +429,7 @@ class SolveService:
             except ProtocolError as exc:
                 # The *frame* was sound, only the message was not — the
                 # stream is still synchronized, so the connection survives.
-                self._stats.protocol_errors += 1
+                self._stats.protocol_error()
                 request_id = doc.get("id")
                 await self._try_send_error(
                     writer,
@@ -369,23 +467,46 @@ class SolveService:
         op = str(request["op"])
         self._stats.count_request(op)
         request_id = str(request["id"])
-        if op == "ping":
-            await write_frame(
-                writer,
-                make_response(
-                    "pong", request_id, protocol_version=protocol.PROTOCOL_VERSION
-                ),
-            )
-        elif op == "stats":
-            await write_frame(writer, make_response("stats", request_id, stats=self.stats()))
-        elif op == "shutdown":
-            drain = bool(request.get("drain", True))
-            await write_frame(writer, make_response("ok", request_id, draining=drain))
-            self.request_shutdown(drain=drain)
-        elif op == "poll":
-            await self._handle_poll(request, request_id, writer)
-        elif op == "solve":
-            await self._handle_solve(request, request_id, writer)
+        started = time.perf_counter()
+        try:
+            if op == "ping":
+                await write_frame(
+                    writer,
+                    make_response(
+                        "pong", request_id, protocol_version=protocol.PROTOCOL_VERSION
+                    ),
+                )
+            elif op == "stats":
+                await write_frame(writer, make_response("stats", request_id, stats=self.stats()))
+            elif op == "metrics":
+                await write_frame(
+                    writer,
+                    make_response(
+                        "metrics",
+                        request_id,
+                        exposition=self.metrics.exposition(),
+                        snapshot=self.metrics.snapshot(),
+                    ),
+                )
+            elif op == "shutdown":
+                drain = bool(request.get("drain", True))
+                await write_frame(writer, make_response("ok", request_id, draining=drain))
+                self.request_shutdown(drain=drain)
+            elif op == "poll":
+                await self._handle_poll(request, request_id, writer)
+            elif op == "solve":
+                # The request span: a child of the router's route span when
+                # the frame carried a trace context, else a fresh trace —
+                # admission is where trace ids are minted.
+                parent = TraceContext.from_wire(request.get("trace"))
+                with self.tracer.span(
+                    "server.solve_request",
+                    parent=parent,
+                    attrs={"solver": str(request.get("solver", "auto"))},
+                ) as span:
+                    await self._handle_solve(request, request_id, writer, span)
+        finally:
+            self._request_hist.observe(time.perf_counter() - started, op=op)
 
     async def _handle_poll(
         self, request: Dict[str, Any], request_id: str, writer: asyncio.StreamWriter
@@ -422,10 +543,14 @@ class SolveService:
         return doc
 
     async def _handle_solve(
-        self, request: Dict[str, Any], request_id: str, writer: asyncio.StreamWriter
+        self,
+        request: Dict[str, Any],
+        request_id: str,
+        writer: asyncio.StreamWriter,
+        span: Any = None,
     ) -> None:
         if self._closing:
-            self._stats.rejected_closing += 1
+            self._stats.job("rejected_closing")
             await self._try_send_error(
                 writer, request_id, "shutting-down", "the service is draining and admits no new work"
             )
@@ -457,20 +582,26 @@ class SolveService:
             if self.cache is not None and cacheable:
                 hit = await self._cache_get(problem, digest)
             if hit is None:
-                self._stats.probe_misses += 1
+                self._stats.job("probe_misses")
+                if span is not None:
+                    span.set_attr("outcome", "probe_miss")
                 await self._try_send_error(
                     writer, request_id, "cache-miss", "the shared cache holds no entry for this digest"
                 )
             else:
-                self._stats.probe_hits += 1
-                await self._send_result(writer, request_id, None, hit, cache_hit=True)
+                self._stats.job("probe_hits")
+                if span is not None:
+                    span.set_attr("outcome", "probe_hit")
+                await self._send_result(writer, request_id, None, hit, cache_hit=True, span=span)
             return
 
         # 1. the shared cache answers repeats without touching the queue
         if self.cache is not None and cacheable:
             hit = await self._cache_get(problem, digest)
             if hit is not None:
-                self._stats.cache_answers += 1
+                self._stats.job("cache_answers")
+                if span is not None:
+                    span.set_attr("outcome", "cache_hit")
                 if not wait:
                     # fire-and-forget keeps its job-id/poll contract even on
                     # the fast path: wrap the answer in an already-done job
@@ -480,7 +611,7 @@ class SolveService:
                         make_response("accepted", request_id, job_id=job.job_id, shared=False),
                     )
                     return
-                await self._send_result(writer, request_id, None, hit, cache_hit=True)
+                await self._send_result(writer, request_id, None, hit, cache_hit=True, span=span)
                 return
 
         # 2. an identical solve already in flight shares its future (plain
@@ -489,9 +620,18 @@ class SolveService:
             shared = self._inflight.get(digest)
             if shared is not None:
                 shared.shared += 1
-                self._stats.dedup_shared += 1
+                self._stats.job("dedup_shared")
+                if span is not None:
+                    span.set_attr("outcome", "dedup_shared")
+                    span.set_attr("shared_job_id", shared.job_id)
                 if wait:
-                    await self._respond_after(writer, request_id, shared)
+                    dedup_started = time.perf_counter()
+                    try:
+                        await self._respond_after(writer, request_id, shared, span=span)
+                    finally:
+                        self._dedup_wait_hist.observe(
+                            time.perf_counter() - dedup_started
+                        )
                 else:
                     await write_frame(
                         writer,
@@ -512,19 +652,23 @@ class SolveService:
             stream=stream,
             priority=priority,
             deadline=deadline,
+            trace=span.context if span is not None else None,
         )
         subscription = job.subscribe() if stream else None
         try:
             self._queue.offer(job)
         except QueueFull as exc:
-            self._stats.rejected_full += 1
+            self._stats.job("rejected_full")
             await self._try_send_error(writer, request_id, "queue-full", str(exc))
             return
         except QueueClosed as exc:
-            self._stats.rejected_closing += 1
+            self._stats.job("rejected_closing")
             await self._try_send_error(writer, request_id, "shutting-down", str(exc))
             return
-        self._stats.admitted += 1
+        self._stats.job("admitted")
+        if span is not None:
+            span.set_attr("outcome", "admitted")
+            span.set_attr("job_id", job.job_id)
         self._remember_job(job)
         if cacheable and self._inflight.setdefault(digest, job) is job:
             # whichever way the job ends — solved, failed, expired at
@@ -545,22 +689,28 @@ class SolveService:
                 event = await subscription.get()
                 if event is None:
                     break
-                self._stats.streamed_events += 1
+                self._stats.streamed_event()
                 await write_frame(
                     writer,
                     make_response("progress", request_id, job_id=job.job_id, **event),
                 )
-        await self._respond_after(writer, request_id, job)
+        await self._respond_after(writer, request_id, job, span=span)
 
     async def _respond_after(
-        self, writer: asyncio.StreamWriter, request_id: str, job: ServiceJob
+        self,
+        writer: asyncio.StreamWriter,
+        request_id: str,
+        job: ServiceJob,
+        span: Any = None,
     ) -> None:
         try:
             result = await asyncio.shield(job.future)
         except Exception as exc:  # noqa: BLE001 — every failure maps to an error frame
+            if span is not None:
+                span.set_status("error")
             await self._try_send_error(writer, request_id, _error_code(exc), str(exc))
             return
-        await self._send_result(writer, request_id, job, result, cache_hit=False)
+        await self._send_result(writer, request_id, job, result, cache_hit=False, span=span)
 
     async def _send_result(
         self,
@@ -569,17 +719,18 @@ class SolveService:
         job: Optional[ServiceJob],
         result: SolveResult,
         cache_hit: bool,
+        span: Any = None,
     ) -> None:
-        await write_frame(
-            writer,
-            make_response(
-                "result",
-                request_id,
-                job_id=None if job is None else job.job_id,
-                cache_hit=cache_hit,
-                result=protocol.result_to_wire(result),
-            ),
+        doc = make_response(
+            "result",
+            request_id,
+            job_id=None if job is None else job.job_id,
+            cache_hit=cache_hit,
+            result=protocol.result_to_wire(result),
         )
+        if span is not None:
+            doc["trace_id"] = span.context.trace_id
+        await write_frame(writer, doc)
 
     async def _cache_get(self, problem: Any, digest: str) -> Optional[SolveResult]:
         """Cache lookup off the event loop (disk read + replay validation)."""
@@ -656,6 +807,14 @@ class SolveService:
         loop = asyncio.get_running_loop()
         job.state = JobState.RUNNING
         job.started_at = loop.time()
+        # Queue wait is only known once the job is picked up, so its span
+        # is emitted retroactively (backdated by the measured wait).
+        self.tracer.record(
+            "queue_wait",
+            max(0.0, job.started_at - job.enqueued_at),
+            parent=job.trace,
+            attrs={"job_id": job.job_id},
+        )
 
         on_progress = None
         if job.subscribers:
@@ -668,26 +827,43 @@ class SolveService:
 
             on_progress = _emit
 
+        solve_started = time.perf_counter()
         try:
-            result = await self._pool.run(job.problem, job.solver, job.options, on_progress)
+            with self.tracer.span(
+                "solve_exec",
+                parent=job.trace,
+                attrs={"job_id": job.job_id, "solver": job.solver},
+            ) as solve_span:
+                result = await self._pool.run(
+                    job.problem,
+                    job.solver,
+                    job.options,
+                    on_progress,
+                    trace=solve_span.context,
+                )
+                solve_span.set_attr("cost", result.cost)
+                solve_span.set_attr("solver_used", result.solver)
         except (SolverError, DeadlineExceeded) as exc:
             job.state = JobState.FAILED
-            self._stats.failed += 1
+            self._stats.job("failed")
             if not job.future.done():
                 job.future.set_exception(exc)
         except Exception as exc:  # noqa: BLE001 — surfaced to the client as `internal`
             job.state = JobState.FAILED
-            self._stats.failed += 1
+            self._stats.job("failed")
             if not job.future.done():
                 job.future.set_exception(exc)
         else:
             job.state = JobState.DONE
-            self._stats.completed += 1
+            self._stats.job("completed")
             if self.cache is not None and job.cacheable:
                 await self._cache_put(job.digest, result)
             if not job.future.done():
                 job.future.set_result(result)
         finally:
+            self._solve_hist.observe(
+                time.perf_counter() - solve_started, solver=job.solver
+            )
             job.finished_at = loop.time()
             # also removed (synchronously, ahead of the future's done
             # callback) so a request landing this very tick cannot join a

@@ -33,6 +33,8 @@ from ..api.dispatch import solve
 from ..api.problem import PebblingProblem
 from ..api.result import SolveResult
 from ..core.exceptions import SolverError
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import TraceContext, reset_current_trace, set_current_trace
 
 __all__ = ["WorkerPool"]
 
@@ -41,29 +43,60 @@ ProgressFn = Callable[[int, float], None]
 
 
 def _solve_task(
-    payload: Tuple[PebblingProblem, str, Dict[str, Any]],
+    payload: Tuple[PebblingProblem, str, Dict[str, Any], Optional[Dict[str, str]]],
 ) -> Tuple[str, Any]:
     """Process-pool task: ``("ok", result)`` or ``("solver_error", exc)``.
 
     Mirrors the batch layer's worker: a :class:`SolverError` is an expected
     per-problem outcome and travels back as data; anything else propagates
-    through the future as a genuine bug.
+    through the future as a genuine bug.  The trailing payload element is
+    the wire form of the request's trace context; installing it here lets
+    the solve span emitted inside the worker process join the request's
+    trace (worker processes inherit ``REPRO_TRACE_FILE``, so their spans
+    land in the same JSONL sink).
     """
-    problem, solver, options = payload
+    problem, solver, options, trace_wire = payload
+    token = None
+    ctx = TraceContext.from_wire(trace_wire) if trace_wire else None
+    if ctx is not None:
+        token = set_current_trace(ctx)
     try:
         return ("ok", solve(problem, solver=solver, **options))
     except SolverError as exc:
         return ("solver_error", exc)
+    finally:
+        if token is not None:
+            reset_current_trace(token)
 
 
 class WorkerPool:
     """Executes solves for the service; see the module docstring for modes."""
 
-    def __init__(self, max_workers: int = 2, prefer_processes: bool = True) -> None:
+    def __init__(
+        self,
+        max_workers: int = 2,
+        prefer_processes: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
         self.prefer_processes = prefer_processes
+        self._busy_gauge = None
+        self._workers_gauge = None
+        self._solves_counter = None
+        if metrics is not None:
+            self._busy_gauge = metrics.gauge(
+                "repro_pool_busy", "Solves currently executing in the worker pool."
+            )
+            self._workers_gauge = metrics.gauge(
+                "repro_pool_workers", "Configured worker-pool size."
+            )
+            self._solves_counter = metrics.counter(
+                "repro_pool_solves_total",
+                "Solves executed, by pool mode.",
+                labels=("mode",),
+            )
         self._process_pool: Optional[ProcessPoolExecutor] = None
         self._thread_pool: Optional[ThreadPoolExecutor] = None
         self._thread_lock = threading.Lock()  # serializes thread-mode solves
@@ -81,6 +114,8 @@ class WorkerPool:
         if self._started:
             return
         self._started = True
+        if self._workers_gauge is not None:
+            self._workers_gauge.set(self.max_workers)
         self._thread_pool = ThreadPoolExecutor(
             max_workers=self.max_workers, thread_name_prefix="repro-service-solve"
         )
@@ -122,19 +157,40 @@ class WorkerPool:
         solver: str,
         options: Dict[str, Any],
         on_progress: Optional[ProgressFn] = None,
+        trace: Optional[TraceContext] = None,
     ) -> SolveResult:
         """Solve one problem off the event loop; raises :class:`SolverError`.
 
         ``on_progress`` (already thread-safe — the server wraps it in
-        ``loop.call_soon_threadsafe``) forces the thread path.
+        ``loop.call_soon_threadsafe``) forces the thread path.  ``trace``
+        is installed as the ambient trace context around the solve so the
+        dispatch layer's spans join the request's trace.
         """
         if not self._started:
             self.start()
         loop = asyncio.get_running_loop()
+        if self._busy_gauge is not None:
+            self._busy_gauge.inc()
+        try:
+            return await self._run(loop, problem, solver, options, on_progress, trace)
+        finally:
+            if self._busy_gauge is not None:
+                self._busy_gauge.dec()
+
+    async def _run(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        problem: PebblingProblem,
+        solver: str,
+        options: Dict[str, Any],
+        on_progress: Optional[ProgressFn],
+        trace: Optional[TraceContext],
+    ) -> SolveResult:
         if on_progress is None and self._process_pool is not None:
             try:
+                payload = (problem, solver, dict(options), trace.to_wire() if trace else None)
                 tag, value = await loop.run_in_executor(
-                    self._process_pool, _solve_task, (problem, solver, dict(options))
+                    self._process_pool, _solve_task, payload
                 )
             except (BrokenProcessPool, pickle.PicklingError) as exc:
                 # The *pool* died under this task (worker OOM-killed, platform
@@ -145,11 +201,13 @@ class WorkerPool:
                 # a broken pool would let one bad request de-parallelize the
                 # whole daemon.
                 self._abandon_processes(f"{type(exc).__name__}: {exc}")
-                return await self._run_in_thread(loop, problem, solver, options, None)
+                return await self._run_in_thread(loop, problem, solver, options, None, trace)
+            if self._solves_counter is not None:
+                self._solves_counter.inc(mode="process")
             if tag == "solver_error":
                 raise value
             return value
-        return await self._run_in_thread(loop, problem, solver, options, on_progress)
+        return await self._run_in_thread(loop, problem, solver, options, on_progress, trace)
 
     # ------------------------------------------------------------------ #
     # internals
@@ -168,14 +226,24 @@ class WorkerPool:
         solver: str,
         options: Dict[str, Any],
         on_progress: Optional[ProgressFn],
+        trace: Optional[TraceContext] = None,
     ) -> SolveResult:
         assert self._thread_pool is not None, "WorkerPool.start() must run first"
 
         def call() -> SolveResult:
             with self._thread_lock:
-                kwargs = dict(options)
-                if on_progress is not None:
-                    kwargs["on_progress"] = on_progress
-                return solve(problem, solver=solver, **kwargs)
+                # The contextvar must be set in *this* thread — executor
+                # threads do not inherit the event loop's context.
+                token = set_current_trace(trace) if trace is not None else None
+                try:
+                    kwargs = dict(options)
+                    if on_progress is not None:
+                        kwargs["on_progress"] = on_progress
+                    return solve(problem, solver=solver, **kwargs)
+                finally:
+                    if token is not None:
+                        reset_current_trace(token)
 
+        if self._solves_counter is not None:
+            self._solves_counter.inc(mode="thread")
         return await loop.run_in_executor(self._thread_pool, call)

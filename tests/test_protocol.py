@@ -370,3 +370,57 @@ class TestVariantCodec:
         doc["variant"]["time_travel"] = True
         with pytest.raises(ProtocolError, match="unknown variant fields"):
             problem_from_wire(doc)
+
+
+class TestObservabilityWire:
+    """v4 observability additions: trace propagation, metrics op, attempts."""
+
+    def _solve_request(self, **overrides):
+        doc = make_request(
+            "solve", "r1", problem={"dag": {}}, solver="auto", options={}, stream=False, wait=True
+        )
+        doc.update(overrides)
+        return doc
+
+    def test_v3_stamped_requests_are_still_accepted(self):
+        # a v3 peer never sends trace/metrics, but its frames must validate
+        assert validate_request({"v": 3, "op": "ping", "id": "r1"})["op"] == "ping"
+        doc = self._solve_request()
+        doc["v"] = 3
+        assert validate_request(doc)["v"] == 3
+
+    def test_metrics_op_is_a_valid_request(self):
+        assert validate_request(make_request("metrics", "r1"))["op"] == "metrics"
+
+    def test_trace_context_shape_is_enforced(self):
+        good = {"trace_id": "a" * 32, "span_id": "b" * 16}
+        assert validate_request(self._solve_request(trace=good))["trace"] == good
+        with pytest.raises(ProtocolError, match="'trace'"):
+            validate_request(self._solve_request(trace="not-an-object"))
+        for bad in (
+            {"trace_id": "", "span_id": "b"},  # empty
+            {"trace_id": "a" * 65, "span_id": "b"},  # oversized
+            {"trace_id": 7, "span_id": "b"},  # non-string
+            {"trace_id": "a"},  # span_id missing
+        ):
+            with pytest.raises(ProtocolError, match="trace"):
+                validate_request(self._solve_request(trace=bad))
+
+    def test_auto_portfolio_attempts_survive_the_wire(self):
+        problem = PebblingProblem(figure1_gadget(), r=4, game="prbp")
+        result = solve(problem, solver="auto")
+        attempts = result.solve_stats.attempts
+        assert attempts, "auto solve should record portfolio attempts"
+        doc = json.loads(json.dumps(result_to_wire(result)))
+        decoded = result_from_wire(problem, doc)
+        assert decoded.solve_stats.attempts == attempts
+        assert any(a.outcome == "won" for a in decoded.solve_stats.attempts)
+
+    def test_missing_attempts_key_decodes_to_empty_for_v3_peers(self):
+        problem = PebblingProblem(figure1_gadget(), r=4, game="prbp")
+        doc = json.loads(json.dumps(result_to_wire(solve(problem, solver="greedy"))))
+        doc["solve_stats"].pop("attempts", None)
+        assert result_from_wire(problem, doc).solve_stats.attempts == ()
+        doc["solve_stats"]["attempts"] = [{"solver": "greedy"}]  # fields missing
+        with pytest.raises(ProtocolError, match="attempt"):
+            result_from_wire(problem, doc)

@@ -11,11 +11,13 @@ executor and is covered by the CI smokes).
 
 import asyncio
 import contextlib
+import json
 
 import pytest
 
 from repro.api import PebblingProblem, solve
 from repro.api.cache import problem_digest
+from repro.obs.metrics import parse_exposition
 from repro.dags import chained_gadget_dag, figure1_gadget, kary_tree_dag
 from repro.service import (
     BackendSpec,
@@ -515,6 +517,39 @@ class TestFailover:
             workers=2,
             router_kwargs={"failure_threshold": 1, "cooldown_s": 60.0},
         )
+
+    def test_router_metrics_and_cluster_trace_stitch(self, tmp_path):
+        """One request leaves one trace covering router tiering and the solve."""
+        trace_file = tmp_path / "spans.jsonl"
+
+        async def scenario(router, services, host, port):
+            async with await ServiceClient.connect(host, port) as client:
+                await client.solve(_workload()[0])
+                doc = await client.metrics()
+            families = parse_exposition(doc["exposition"])
+            assert families["repro_router_requests_total"]["type"] == "counter"
+            assert families["repro_router_tier_seconds"]["type"] == "histogram"
+            assert router.stats()["latency"]["repro_router_tier_seconds"]["count"] >= 1
+
+        _run_with_cluster(
+            scenario,
+            backends=2,
+            router_kwargs={"trace_file": trace_file},
+            backend_kwargs={"trace_file": trace_file},
+        )
+        traces = {}
+        for line in trace_file.read_text().splitlines():
+            span = json.loads(line)
+            traces.setdefault(span["trace_id"], []).append(span)
+        stitched = [
+            spans
+            for spans in traces.values()
+            if {"router.route", "queue_wait", "solve_exec"} <= {s["name"] for s in spans}
+        ]
+        assert stitched, "no trace covered routing, queue wait and solver execution"
+        nodes = {span["node"] for span in stitched[0]}
+        assert any(node.startswith("router:") for node in nodes)
+        assert any(node.startswith("service:") for node in nodes)
 
     def test_router_shutdown_refuses_new_work_with_typed_error(self):
         async def scenario(router, services, host, port):

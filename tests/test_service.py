@@ -13,6 +13,7 @@ wall-clock window without touching the cache or the dedup table.
 """
 
 import asyncio
+import json
 import struct
 
 import pytest
@@ -27,6 +28,8 @@ from repro.service import (
     ServiceError,
     SolveService,
 )
+from repro.obs.metrics import parse_exposition
+from repro.obs.tracing import Tracer
 from repro.service.protocol import PROTOCOL_VERSION, encode_frame, make_request, read_frame
 
 
@@ -584,6 +587,44 @@ class TestObservability:
             assert stats["connections"]["total"] >= 1
 
         _run_with_service(scenario)
+
+    def test_metrics_op_exposes_core_series(self):
+        async def scenario(service, host, port):
+            async with await ServiceClient.connect(host, port) as client:
+                await client.solve(PebblingProblem(figure1_gadget(), r=4, game="prbp"))
+                doc = await client.metrics()
+            families = parse_exposition(doc["exposition"])
+            assert families["repro_request_latency_seconds"]["type"] == "histogram"
+            assert families["repro_requests_total"]["type"] == "counter"
+            assert families["repro_queue_depth"]["type"] == "gauge"
+            assert "repro_request_latency_seconds" in doc["snapshot"]
+            # the stats() dict carries the same histograms, summarised
+            latency = service.stats()["latency"]["repro_request_latency_seconds"]
+            assert latency["count"] >= 1
+
+        _run_with_service(scenario)
+
+    def test_one_trace_id_spans_admission_queue_and_solver(self, tmp_path):
+        """Acceptance: request, queue-wait and solver spans stitch under one id."""
+        trace_file = tmp_path / "spans.jsonl"
+        problem = PebblingProblem(figure1_gadget(), r=4, game="prbp")
+
+        async def scenario(service, host, port):
+            tracer = Tracer(node="client")
+            async with await ServiceClient.connect(host, port) as client:
+                with tracer.span("client.solve") as span:
+                    await client.solve(problem)
+            return span.context.trace_id
+
+        trace_id = _run_with_service(scenario, trace_file=trace_file)
+        spans = [json.loads(line) for line in trace_file.read_text().splitlines()]
+        names = {span["name"] for span in spans if span["trace_id"] == trace_id}
+        # the ambient client context crossed the wire: the request span,
+        # the retroactive queue-wait span and the solver span all joined it
+        assert {"server.solve_request", "queue_wait", "solve_exec"} <= names
+        for span in spans:
+            if span["trace_id"] == trace_id:
+                assert span["node"].startswith("service:")
 
     def test_cache_can_be_disabled(self):
         problem = PebblingProblem(figure1_gadget(), r=4, game="prbp")
